@@ -1,0 +1,25 @@
+# Convenience targets for the PROP reproduction.
+
+.PHONY: install test bench figures examples all
+
+install:
+	pip install -e . || python setup.py develop  # fallback: offline envs without `wheel`
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+figures: bench
+	@echo "regenerated series are under benchmarks/output/"
+
+examples:
+	python examples/quickstart.py
+	python examples/gnutella_file_sharing.py
+	python examples/churn_resilience.py
+	python examples/custom_overlay.py
+	python examples/dht_family_comparison.py
+	python examples/parameter_study.py
+
+all: install test bench

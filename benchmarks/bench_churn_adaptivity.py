@@ -1,0 +1,65 @@
+"""Dynamic environment: adaptivity to churn.
+
+Paper claims (Sections 3.2 / 4.3 / 6): PROP handles departures and
+arrivals gracefully — after churn the timers reset and new neighbors
+are probed first, so the topology re-converges and "the frequency of
+probing will reduce quickly after a short period of time".
+
+Scenario: converge for 1 h, inject a 10-minute churn burst replacing a
+substantial share of the population, then observe recovery for 1 h.
+"""
+
+import numpy as np
+
+from benchmarks.common import paper_config, run_once
+from repro.core.config import PROPConfig
+from repro.harness.experiment import run_experiment
+from repro.harness.reporting import format_series
+from repro.workloads.churn import ChurnConfig
+
+BURST_START = 3600.0
+BURST_STOP = 4200.0
+END = 7800.0
+
+
+def test_churn_burst_recovery(benchmark, emit):
+    cfg = paper_config(
+        overlay_kind="gnutella",
+        n_overlay=800,
+        n_spare=200,
+        prop=PROPConfig(policy="G"),
+        churn=ChurnConfig(rate_per_node=0.002, start=BURST_START, stop=BURST_STOP),
+        duration=END,
+        sample_interval=300.0,
+        lookups_per_sample=500,
+    )
+    result = run_once(benchmark, lambda: run_experiment(cfg))
+
+    emit(
+        format_series(
+            "Churn adaptivity  link stretch and probe rate around a churn burst "
+            f"(burst {BURST_START:.0f}-{BURST_STOP:.0f} s)",
+            result.times,
+            {
+                "link stretch": result.link_stretch,
+                "probes (cum)": result.probes.astype(float),
+            },
+        )
+    )
+
+    t = result.times
+    pre = result.link_stretch[np.searchsorted(t, BURST_START)]
+    during = result.link_stretch[np.searchsorted(t, BURST_STOP)]
+    final = result.link_stretch[-1]
+
+    # the burst disturbs the converged topology...
+    assert during > pre
+    # ...and PROP recovers most of the damage afterwards
+    assert final < pre + 0.5 * (during - pre)
+
+    # probe rate: churn restarts probing, then the Markov timers damp it
+    rates = result.probe_rate()
+    burst_idx = np.searchsorted(t[1:], BURST_STOP)
+    pre_idx = np.searchsorted(t[1:], BURST_START) - 1
+    assert rates[burst_idx] > rates[pre_idx]
+    assert rates[-1] < rates[burst_idx]

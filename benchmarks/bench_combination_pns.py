@@ -1,0 +1,53 @@
+"""Combination with other approaches (Sections 1 / 6): "Combining them
+with other recent mechanisms will further improve their performance."
+
+Regenerates the claim on Chord: plain Chord, Chord + PROP-G, Chord +
+PNS, Chord + PNS + PROP-G (PNS fingers refreshed periodically so
+identifier swaps and proximity selection cooperate), plus the PIS
+identifier assignment as the third baseline family.
+"""
+
+from benchmarks.common import paper_config, run_once
+from repro.core.config import PROPConfig
+from repro.harness.reporting import format_table
+from repro.harness.sweep import run_sweep
+
+
+def test_combination_with_pns_and_pis(benchmark, emit):
+    base = dict(overlay_kind="chord", duration=2400.0, lookups_per_sample=600)
+    configs = {
+        "Chord": paper_config(**base),
+        "Chord+PROP-G": paper_config(prop=PROPConfig(policy="G"), **base),
+        "Chord+PNS": paper_config(pns=True, **base),
+        "Chord+PNS+PROP-G": paper_config(
+            pns=True, pns_refresh_interval=600.0, prop=PROPConfig(policy="G"), **base
+        ),
+        "Chord+PIS": paper_config(pis_landmarks=8, **base),
+        "Chord+PIS+PROP-G": paper_config(
+            pis_landmarks=8, prop=PROPConfig(policy="G"), **base
+        ),
+    }
+    results = run_once(benchmark, lambda: run_sweep(configs))
+
+    rows = [
+        [label, r.initial_stretch, r.final_stretch, r.final_lookup_latency]
+        for label, r in results.items()
+    ]
+    emit(
+        "Combination  Chord routing stretch / lookup latency under baselines and PROP-G\n\n"
+        + format_table(["deployment", "initial stretch", "final stretch", "final lookup (ms)"], rows)
+    )
+
+    plain = results["Chord"].final_lookup_latency
+    # every location-aware mechanism beats plain Chord
+    for label in ("Chord+PROP-G", "Chord+PNS", "Chord+PIS"):
+        assert results[label].final_lookup_latency < plain
+    # layering PROP-G on a baseline improves (or at worst matches) it
+    assert (
+        results["Chord+PNS+PROP-G"].final_lookup_latency
+        <= results["Chord+PNS"].final_lookup_latency * 1.02
+    )
+    assert (
+        results["Chord+PIS+PROP-G"].final_lookup_latency
+        <= results["Chord+PIS"].final_lookup_latency * 1.02
+    )

@@ -1,0 +1,92 @@
+"""Section 4.3 overhead analysis: messages per adjustment step and the
+probe-frequency decay of the Markov-chain timer.
+
+Paper claims: one adjustment step costs (nhop + 2c) messages for PROP-G
+versus (nhop + 2m) for PROP-O — "the overhead of PROP-O is intuitively
+better than PROP-G especially when c is much larger than nhop and m" —
+and the per-node probe frequency starts at the worst case
+f_p = 1/INIT_TIMER, then decays geometrically once the topology
+stabilizes.
+"""
+
+import numpy as np
+
+from benchmarks.common import paper_config, run_once
+from repro.core.config import PROPConfig
+from repro.harness.reporting import format_series, format_table
+from repro.harness.sweep import run_sweep
+from repro.metrics.overhead import (
+    prop_g_step_messages,
+    prop_o_step_messages,
+    worst_case_probe_frequency,
+)
+
+
+def test_overhead_messages_per_step(benchmark, emit):
+    configs = {
+        "PROP-G": paper_config(
+            overlay_kind="gnutella", prop=PROPConfig(policy="G"), duration=1800.0
+        ),
+        "PROP-O (m=2)": paper_config(
+            overlay_kind="gnutella", prop=PROPConfig(policy="O", m=2), duration=1800.0
+        ),
+        "PROP-O (m=4)": paper_config(
+            overlay_kind="gnutella", prop=PROPConfig(policy="O", m=4), duration=1800.0
+        ),
+    }
+    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False))
+
+    rows = []
+    measured = {}
+    for label, r in results.items():
+        c = r.final_counters
+        per_step = (c.walk_messages + c.collect_messages) / c.probes
+        measured[label] = per_step
+        rows.append([label, per_step, c.probes, c.exchanges, c.total_messages])
+
+    mean_degree = 6.0  # ~ the generated Gnutella mean degree
+    model_rows = [
+        ["PROP-G (model nhop+2c)", prop_g_step_messages(2, mean_degree)],
+        ["PROP-O m=2 (model nhop+2m)", prop_o_step_messages(2, 2)],
+        ["PROP-O m=4 (model nhop+2m)", prop_o_step_messages(2, 4)],
+    ]
+    emit(
+        "Overhead (Section 4.3)  messages per adjustment step\n\n"
+        + format_table(["protocol", "msgs/step", "probes", "exchanges", "total msgs"], rows)
+        + "\n\nClosed-form model (c = mean degree ~ 6):\n\n"
+        + format_table(["model", "msgs/step"], model_rows)
+    )
+
+    # PROP-O is cheaper per step than PROP-G, and ordering follows m.
+    assert measured["PROP-O (m=2)"] < measured["PROP-G"]
+    assert measured["PROP-O (m=2)"] < measured["PROP-O (m=4)"]
+
+
+def test_overhead_probe_frequency_decay(benchmark, emit):
+    cfg = paper_config(
+        overlay_kind="gnutella",
+        prop=PROPConfig(policy="G"),
+        duration=7200.0,
+        sample_interval=720.0,
+    )
+    result = run_once(
+        benchmark,
+        lambda: __import__("repro.harness.experiment", fromlist=["run_experiment"]).run_experiment(
+            cfg, measure_lookups=False
+        ),
+    )
+
+    per_node_rate = result.probe_rate() / cfg.n_overlay
+    worst = worst_case_probe_frequency(60.0)
+    emit(
+        format_series(
+            "Overhead  per-node probe frequency (1/s) vs time "
+            f"(worst case f_p = 1/INIT_TIMER = {worst:.4f})",
+            result.times[1:],
+            {"measured f_p": per_node_rate},
+        )
+    )
+
+    # warm-up probes near the worst case; converged tail far below it
+    assert per_node_rate[0] <= worst * 1.1
+    assert per_node_rate[-1] < 0.5 * per_node_rate[0]

@@ -1,0 +1,35 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's figures/tables: it runs
+the experiment once under ``benchmark.pedantic`` (wall-clock measured,
+no repetition — a full simulated deployment is the unit of work) and
+emits the series both to stdout and to ``benchmarks/output/<name>.txt``
+so runs are diffable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def emit(output_dir, request, capsys):
+    """Writer that prints a report and records it under the test's name."""
+
+    def _emit(text: str) -> None:
+        name = request.node.name.replace("/", "_")
+        (output_dir / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}")
+
+    return _emit

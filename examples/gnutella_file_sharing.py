@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scenario: a Gnutella-like file-sharing network with heterogeneous peers.
+
+The workload the paper's introduction motivates: first-generation
+file-sharing overlays whose random neighbor choice ignores the physical
+network.  This example builds a 500-peer unstructured overlay where
+powerful ("fast") peers naturally hold more connections, then compares
+three repair mechanisms side by side on the *same* world:
+
+* PROP-G — position exchange (degree travels with the position),
+* PROP-O — degree-preserving neighbor exchange (the paper's pick for
+  heterogeneous populations),
+* LTM    — the free-rewiring baseline.
+
+It reports lookup latency for slow-targeted and fast-targeted queries
+separately, exposing the capacity-degree effect behind Figure 7.
+
+Run:  python examples/gnutella_file_sharing.py
+"""
+
+from repro import ExperimentConfig, LTMConfig, PROPConfig, format_table, run_experiment
+
+
+def build_config(**optimizer) -> ExperimentConfig:
+    return ExperimentConfig(
+        seed=11,
+        preset="ts-large",
+        overlay_kind="gnutella",
+        n_overlay=500,
+        heterogeneous=True,       # bimodal: 1 ms vs 100 ms processing
+        fast_fraction=0.5,
+        fast_degree_weight=8.0,   # fast peers become hubs
+        flood_ttl=7,              # Gnutella's classic query TTL
+        overlay_options={"min_degree": 3, "mean_extra_degree": 3.0},
+        duration=1800.0,
+        sample_interval=900.0,
+        lookups_per_sample=500,
+        **optimizer,
+    )
+
+
+def main() -> None:
+    protocols = {
+        "none": {},
+        "PROP-G": dict(prop=PROPConfig(policy="G")),
+        "PROP-O (m=3)": dict(prop=PROPConfig(policy="O", m=3)),
+        "LTM": dict(ltm=LTMConfig(max_cuts_per_round=4)),
+    }
+
+    rows = []
+    for name, kw in protocols.items():
+        slow = run_experiment(build_config(fast_lookup_fraction=0.0, **kw))
+        fast = run_experiment(build_config(fast_lookup_fraction=1.0, **kw))
+        rows.append(
+            [
+                name,
+                slow.final_lookup_latency,
+                fast.final_lookup_latency,
+                fast.final_lookup_latency - slow.final_lookup_latency,
+            ]
+        )
+
+    print("Lookup latency (ms) after 30 min of optimization, by query target class\n")
+    print(
+        format_table(
+            ["protocol", "slow-targeted", "fast-targeted", "fast minus slow"],
+            rows,
+        )
+    )
+    print(
+        "\nReading the last column: under PROP-O fast-targeted lookups enjoy the\n"
+        "largest advantage because fast hubs keep their degree; PROP-G erases\n"
+        "that edge by moving connections away from fast hosts."
+    )
+
+
+if __name__ == "__main__":
+    main()

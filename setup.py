@@ -1,0 +1,11 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+The offline environment ships setuptools 65 but no `wheel`, which breaks
+PEP-517 editable installs; `pip install -e . --no-use-pep517` falls back
+to `setup.py develop` through this file.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""Analytics over the protocol's exchange log.
+
+Every executed peer-exchange is recorded as an
+:class:`~repro.core.protocol.ExchangeRecord`; these helpers turn the log
+into the quantities the convergence story is told with — exchange rate
+over time, the distribution of realized Var gains, per-slot activity,
+and the share of total improvement captured early (the paper's warm-up
+claim in log form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.protocol import ExchangeRecord
+
+__all__ = ["ExchangeStats", "exchange_stats", "exchange_rate", "gain_captured_by"]
+
+
+@dataclass(frozen=True)
+class ExchangeStats:
+    """Aggregate view of one run's exchange log."""
+
+    count: int
+    total_var: float
+    mean_var: float
+    median_var: float
+    first_time: float
+    last_time: float
+    most_active_slot: int
+    most_active_count: int
+
+
+def exchange_stats(log: Sequence[ExchangeRecord]) -> ExchangeStats:
+    """Summarize an exchange log (raises on an empty log)."""
+    if not log:
+        raise ValueError("exchange log is empty")
+    vars_ = np.array([r.var for r in log])
+    participants = np.array([[r.u, r.v] for r in log]).ravel()
+    slots, counts = np.unique(participants, return_counts=True)
+    top = int(np.argmax(counts))
+    return ExchangeStats(
+        count=len(log),
+        total_var=float(vars_.sum()),
+        mean_var=float(vars_.mean()),
+        median_var=float(np.median(vars_)),
+        first_time=float(log[0].time),
+        last_time=float(log[-1].time),
+        most_active_slot=int(slots[top]),
+        most_active_count=int(counts[top]),
+    )
+
+
+def exchange_rate(
+    log: Sequence[ExchangeRecord],
+    bin_seconds: float,
+    until: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exchanges per second in fixed time bins.
+
+    Returns ``(bin_end_times, rates)``.  ``until`` extends the binning
+    past the last exchange (to show the converged silence).
+    """
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    times = np.array([r.time for r in log], dtype=np.float64)
+    horizon = max(times.max() if times.size else 0.0, until or 0.0)
+    n_bins = max(1, int(np.ceil(horizon / bin_seconds)))
+    edges = np.arange(1, n_bins + 1) * bin_seconds
+    counts, _ = np.histogram(times, bins=np.concatenate([[0.0], edges]))
+    return edges, counts / bin_seconds
+
+
+def gain_captured_by(log: Sequence[ExchangeRecord], time: float) -> float:
+    """Fraction of the run's total Var gain realized by ``time``.
+
+    The log-level form of the warm-up claim: most of the improvement
+    lands in the first probe rounds.
+    """
+    if not log:
+        raise ValueError("exchange log is empty")
+    total = sum(r.var for r in log)
+    if total <= 0:
+        raise ValueError("log has no positive total gain")
+    early = sum(r.var for r in log if r.time <= time)
+    return early / total

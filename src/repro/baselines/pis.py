@@ -1,0 +1,63 @@
+"""PIS — Proximity Identifier Selection.
+
+The third structured-overlay baseline family of Section 2 (Ratnasamy et
+al., INFOCOM'02: topologically-aware overlay construction): node
+identifiers are assigned from physical coordinates so that id-adjacent
+nodes are physically close.  The standard technique is *landmark
+ordering*: every node measures its latency to a small set of landmark
+hosts, nodes are sorted by their landmark vectors, and identifiers are
+handed out in that order.
+
+In the slot/embedding model this is simply a smarter **embedding**: the
+logical Chord ring is unchanged; hosts are placed on it in landmark
+order, so ring successors (and short fingers) tend to be nearby.  The
+paper notes PIS's cost — it "impairs … anonymity" and skews load — but
+uses it as a comparison point; we expose it the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.latency import LatencyOracle
+
+__all__ = ["landmark_vectors", "pis_embedding"]
+
+
+def landmark_vectors(
+    oracle: LatencyOracle,
+    n_landmarks: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Latency vector of every member to ``n_landmarks`` random members.
+
+    Real PIS uses dedicated landmark servers; measuring to a random
+    member subset exercises the identical mechanism (the landmark set
+    only needs to be common to all nodes).
+    """
+    n = oracle.n
+    if not 1 <= n_landmarks <= n:
+        raise ValueError(f"need 1..{n} landmarks, got {n_landmarks}")
+    landmarks = rng.choice(n, size=n_landmarks, replace=False)
+    return oracle.matrix[:, landmarks]
+
+
+def pis_embedding(
+    oracle: LatencyOracle,
+    rng: np.random.Generator,
+    *,
+    n_landmarks: int = 8,
+) -> np.ndarray:
+    """Landmark-ordered slot->host embedding for a ring overlay.
+
+    Hosts are sorted by (nearest landmark, distance to it, second
+    distance, ...) so that consecutive ring slots receive physically
+    nearby hosts.  Returns an array usable as the ``embedding`` argument
+    of :class:`~repro.overlay.chord.ChordOverlay`.
+    """
+    vec = landmark_vectors(oracle, n_landmarks, rng)
+    # Sort lexicographically by (argmin landmark, then the full distance
+    # vector) — the classic landmark-binning order.
+    nearest = np.argmin(vec, axis=1)
+    keys = np.lexsort(tuple(vec[:, k] for k in range(vec.shape[1] - 1, -1, -1)) + (nearest,))
+    return keys.astype(np.intp)

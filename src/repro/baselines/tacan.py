@@ -1,0 +1,53 @@
+"""Topologically-aware CAN (Ratnasamy et al., INFOCOM'02; HotNets'01).
+
+The PIS-family baseline for CAN mentioned in the paper's Section 2:
+"Topologically-aware CAN, which ensures that nodes which are close in
+the network topology are close in the node ID space, is only suitable
+for systems like CAN".  Joining nodes derive their join point from
+landmark distances instead of hashing, so physically nearby hosts end up
+owning nearby zones and greedy routing stays local.
+
+We use the continuous variant of landmark binning: with ``d`` landmarks,
+a host's join point is its latency vector to them, normalized per
+coordinate to [0, 1) over the member population (plus a deterministic
+hash jitter to break exact ties).  The paper's criticism — the technique
+is protocol-specific where PROP-G is universal — is exactly what the
+combination benchmark shows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.pis import landmark_vectors
+from repro.topology.latency import LatencyOracle
+
+__all__ = ["tacan_join_points"]
+
+
+def tacan_join_points(
+    oracle: LatencyOracle,
+    rng: np.random.Generator,
+    *,
+    dims: int = 2,
+    jitter: float = 1e-3,
+) -> np.ndarray:
+    """Landmark-derived CAN join points, one per oracle member.
+
+    Returns an ``(n, dims)`` array in ``[0, 1)``; pass as ``join_points``
+    to :meth:`repro.overlay.can.CANOverlay.build` (member order — the
+    builder maps them through its embedding).
+    """
+    if dims < 1:
+        raise ValueError("dims must be >= 1")
+    if not 0.0 <= jitter < 0.5:
+        raise ValueError("jitter must be in [0, 0.5)")
+    vec = landmark_vectors(oracle, dims, rng)
+    lo = vec.min(axis=0)
+    span = vec.max(axis=0) - lo
+    span[span == 0.0] = 1.0
+    points = (vec - lo) / span
+    if jitter > 0.0:
+        points = points + rng.uniform(-jitter, jitter, size=points.shape)
+    # squeeze into [0, 1) leaving room at the top edge
+    return np.clip(points, 0.0, 1.0 - 1e-9) * (1.0 - 2e-9)

@@ -1,0 +1,259 @@
+"""Command-line interface.
+
+``python -m repro run`` executes one simulated deployment and prints the
+sampled series; ``python -m repro presets`` lists the physical topology
+presets.  The CLI is a thin veneer over
+:class:`~repro.harness.experiment.ExperimentConfig` — every flag maps to
+one config field, so scripted sweeps can drop to the Python API at any
+point.
+
+Examples
+--------
+::
+
+    python -m repro run --overlay chord --n 300 --policy G
+    python -m repro run --overlay gnutella --policy O --m 2 --duration 1800
+    python -m repro run --overlay gnutella --ltm --seed 3
+    python -m repro presets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.baselines.ltm import LTMConfig
+from repro.core.config import PROPConfig
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.reporting import format_series, format_table
+from repro.topology.presets import TS_LARGE, TS_SMALL
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PROP peer-exchange overlay optimization (ICPP 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulated deployment")
+    run.add_argument("--overlay", choices=["gnutella", "chord", "can", "pastry", "kademlia"],
+                     default="gnutella", help="overlay family (default: gnutella)")
+    run.add_argument("--preset", choices=["ts-large", "ts-small", "waxman"],
+                     default="ts-large",
+                     help="physical topology preset (default: ts-large)")
+    run.add_argument("--n", type=int, default=1000, help="overlay size (default: 1000)")
+    run.add_argument("--seed", type=int, default=0, help="master seed (default: 0)")
+    run.add_argument("--duration", type=float, default=3600.0,
+                     help="simulated seconds (default: 3600)")
+    run.add_argument("--sample-interval", type=float, default=360.0,
+                     help="metric sampling period in seconds (default: 360)")
+    run.add_argument("--lookups", type=int, default=1000,
+                     help="lookups measured per sample (default: 1000)")
+
+    proto = run.add_mutually_exclusive_group()
+    proto.add_argument("--policy", choices=["G", "O"],
+                       help="deploy PROP with this policy")
+    proto.add_argument("--ltm", action="store_true", help="deploy the LTM baseline")
+
+    run.add_argument("--nhops", type=int, default=2, help="probe walk TTL (default: 2)")
+    run.add_argument("--m", type=int, default=None,
+                     help="PROP-O trade size (default: overlay min degree)")
+    run.add_argument("--random-probe", action="store_true",
+                     help="probe a uniform random peer instead of walking")
+    run.add_argument("--heterogeneous", action="store_true",
+                     help="bimodal processing delays (1 ms / 100 ms, 50%% fast)")
+    run.add_argument("--flood-ttl", type=int, default=None,
+                     help="Gnutella flood scope (default: unbounded)")
+    run.add_argument("--pns", action="store_true",
+                     help="Chord: proximity neighbor selection fingers")
+    run.add_argument("--pis-landmarks", type=int, default=None,
+                     help="Chord: PIS identifier assignment with this many landmarks")
+
+    run.add_argument("--save", type=str, default=None, metavar="PATH",
+                     help="save the result to this JSON file")
+
+    sub.add_parser("presets", help="list the physical topology presets")
+
+    show = sub.add_parser("show", help="summarize a saved result")
+    show.add_argument("path", help="result JSON written by 'run --save'")
+
+    compare = sub.add_parser("compare", help="compare two saved results")
+    compare.add_argument("path_a", help="baseline result JSON")
+    compare.add_argument("path_b", help="candidate result JSON")
+
+    from repro.harness.figures import FIGURE_IDS
+
+    figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("figure_id", choices=list(FIGURE_IDS),
+                        help="which figure to regenerate")
+    figure.add_argument("--scale", choices=["paper", "quick"], default="quick",
+                        help="paper scale (n=1000, slow) or quick sanity scale (default)")
+
+    report = sub.add_parser("report", help="tabulate saved results in a directory")
+    report.add_argument("directory", help="directory of result JSON files")
+    report.add_argument("--metric", default="lookup_latency",
+                        choices=["lookup_latency", "stretch", "link_stretch"])
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    prop = None
+    ltm = None
+    if args.policy is not None:
+        prop = PROPConfig(
+            policy=args.policy,
+            nhops=args.nhops,
+            m=args.m,
+            random_probe=args.random_probe,
+        )
+    elif args.ltm:
+        ltm = LTMConfig()
+    return ExperimentConfig(
+        seed=args.seed,
+        preset=args.preset,
+        overlay_kind=args.overlay,
+        n_overlay=args.n,
+        prop=prop,
+        ltm=ltm,
+        heterogeneous=args.heterogeneous,
+        flood_ttl=args.flood_ttl,
+        pns=args.pns,
+        pis_landmarks=args.pis_landmarks,
+        duration=args.duration,
+        sample_interval=args.sample_interval,
+        lookups_per_sample=args.lookups,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    label = "none"
+    if config.prop is not None:
+        label = f"PROP-{config.prop.policy}"
+    elif config.ltm is not None:
+        label = "LTM"
+    print(
+        f"running {config.overlay_kind} n={config.n_overlay} on {config.preset} "
+        f"with optimizer={label} for {config.duration:.0f}s ...",
+        file=sys.stderr,
+    )
+    result = run_experiment(config)
+    print(
+        format_series(
+            f"{config.overlay_kind} / {label}",
+            result.times,
+            {
+                "stretch": result.stretch,
+                "lookup latency (ms)": result.lookup_latency,
+                "link stretch": result.link_stretch,
+            },
+        )
+    )
+    if result.final_counters is not None:
+        print(f"\nprobes/rounds: {result.probes[-1]}  "
+              f"exchanges/ops: {result.exchanges[-1]}")
+    print(f"lookup latency: {result.initial_lookup_latency:.1f} ms -> "
+          f"{result.final_lookup_latency:.1f} ms")
+    if args.save:
+        from repro.harness.persistence import save_result
+
+        path = save_result(result, args.save)
+        print(f"saved result to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import summarize_result
+    from repro.harness.persistence import load_result
+
+    stored = load_result(args.path)
+    print(summarize_result(stored, label=args.path))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import compare_results
+    from repro.harness.persistence import load_result
+
+    a = load_result(args.path_a)
+    b = load_result(args.path_b)
+    print(compare_results(a, b, label_a=args.path_a, label_b=args.path_b).to_text())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.harness.figures import figure_configs, figure_description
+    from repro.harness.sweep import run_sweep
+
+    configs = figure_configs(args.figure_id, scale=args.scale)
+    print(
+        f"regenerating {args.figure_id} ({figure_description(args.figure_id)}) "
+        f"at {args.scale} scale: {len(configs)} runs ...",
+        file=sys.stderr,
+    )
+    results = run_sweep(configs, progress=lambda label: print(f"  {label}", file=sys.stderr))
+    times = next(iter(results.values())).times
+    metric = "stretch" if args.figure_id.startswith("fig6") else "lookup_latency"
+    print(
+        format_series(
+            f"{args.figure_id}  {figure_description(args.figure_id)}",
+            times,
+            {label: getattr(r, metric) for label, r in results.items()},
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import summarize_directory
+
+    print(summarize_directory(args.directory, metric=args.metric))
+    return 0
+
+
+def _cmd_presets(_: argparse.Namespace) -> int:
+    rows = []
+    for name, p in (("ts-large", TS_LARGE), ("ts-small", TS_SMALL)):
+        rows.append(
+            [
+                name,
+                p.transit_domains,
+                p.transit_nodes_per_domain,
+                p.stub_domains_per_transit,
+                p.stub_nodes_per_domain,
+                p.n_hosts,
+            ]
+        )
+    print(
+        format_table(
+            ["preset", "transit domains", "transit/domain", "stubs/transit",
+             "hosts/stub", "total hosts"],
+            rows,
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "presets":
+        return _cmd_presets(args)
+    if args.command == "show":
+        return _cmd_show(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

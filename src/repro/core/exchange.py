@@ -1,0 +1,62 @@
+"""Peer-exchange executors.
+
+The two concrete exchange operations, expressed against the
+logical-graph-plus-embedding overlay model:
+
+* :func:`execute_prop_g` — the peers swap positions (all neighbors at
+  once, "exchanging their position in the overlay network"; in a DHT
+  this is the node-identifier swap).  One embedding transposition.
+* :func:`execute_prop_o` — the peers trade the selected equal-size
+  neighbor lists; each individual move is the paper's *cut-add*
+  operation (cut edge (u, x), add edge (v, x)).
+
+Both return the notification message count of the operation: every node
+whose routing state mentions the exchanged pair must be told (Section
+3.2), which is ``deg(u) + deg(v)`` for PROP-G and ``2m`` for PROP-O —
+the ``2c`` vs ``2m`` terms of the Section 4.3 overhead analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.overlay.base import Overlay
+
+__all__ = ["execute_prop_g", "execute_prop_o"]
+
+
+def execute_prop_g(overlay: Overlay, u: int, v: int) -> int:
+    """Perform a PROP-G position swap.  Returns notification count."""
+    notified = overlay.degree(u) + overlay.degree(v)
+    overlay.swap_embedding(u, v)
+    return notified
+
+
+def execute_prop_o(
+    overlay: Overlay,
+    u: int,
+    v: int,
+    give_u: Sequence[int],
+    give_v: Sequence[int],
+) -> int:
+    """Perform a PROP-O trade of equal-size neighbor lists.
+
+    ``give_u``/``give_v`` must come from
+    :func:`repro.core.varcalc.select_prop_o` (legality is re-checked
+    here: equal sizes, no duplicate edges, counterpart not traded).
+    Returns the notification count ``2m``.
+    """
+    if len(give_u) != len(give_v):
+        raise ValueError("PROP-O must exchange equal numbers of neighbors")
+    for x in give_u:
+        if x == v:
+            raise ValueError("cannot trade the counterpart itself")
+    for y in give_v:
+        if y == u:
+            raise ValueError("cannot trade the counterpart itself")
+    # Cut-add pairs: (u, x) -> (v, x) and (v, y) -> (u, y).
+    for x in give_u:
+        overlay.rewire(u, x, v, x)
+    for y in give_v:
+        overlay.rewire(v, y, u, y)
+    return 2 * len(give_u)

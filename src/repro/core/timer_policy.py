@@ -1,0 +1,48 @@
+"""Markov-chain probe timer.
+
+Section 3.2: "Timer will be doubled after a failed peer-exchange attempt,
+and reset to INIT_TIMER after a successful one; if Timer >= MAX_TIMER, it
+will also be set as INIT_TIMER."  The doubling makes the probe frequency
+of a converged (always-failing) node decay geometrically — the overhead
+argument of Section 4.3 — while the wrap at MAX_TIMER guarantees every
+node keeps sampling occasionally so churn is eventually noticed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MarkovTimer"]
+
+
+class MarkovTimer:
+    """Exponential-backoff timer with reset-on-success and wrap-at-cap."""
+
+    __slots__ = ("init", "cap", "value")
+
+    def __init__(self, init: float, cap: float) -> None:
+        if init <= 0:
+            raise ValueError("init must be positive")
+        if cap < init:
+            raise ValueError("cap must be >= init")
+        self.init = float(init)
+        self.cap = float(cap)
+        self.value = float(init)
+
+    def on_success(self) -> float:
+        """Exchange happened: probe eagerly again."""
+        self.value = self.init
+        return self.value
+
+    def on_failure(self) -> float:
+        """No exchange: back off, wrapping to init at the cap."""
+        self.value *= 2.0
+        if self.value >= self.cap:
+            self.value = self.init
+        return self.value
+
+    def on_churn(self) -> float:
+        """Membership changed nearby: probe eagerly (paper Section 3.2)."""
+        self.value = self.init
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MarkovTimer(value={self.value}, init={self.init}, cap={self.cap})"

@@ -1,0 +1,30 @@
+"""Experiment harness: configs, time-series runner, sweeps, reporting."""
+
+from repro.harness.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    World,
+    build_world,
+    run_experiment,
+)
+from repro.harness.persistence import StoredResult, load_result, save_result
+from repro.harness.replicate import ReplicatedSeries, ReplicationSummary, replicate
+from repro.harness.reporting import format_series, format_table
+from repro.harness.sweep import run_sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ReplicatedSeries",
+    "ReplicationSummary",
+    "StoredResult",
+    "World",
+    "build_world",
+    "format_series",
+    "format_table",
+    "load_result",
+    "replicate",
+    "run_experiment",
+    "run_sweep",
+    "save_result",
+]

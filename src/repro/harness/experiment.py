@@ -1,0 +1,399 @@
+"""End-to-end experiment runner.
+
+One :class:`ExperimentConfig` describes a complete simulated deployment —
+physical preset, overlay family, optimization protocol (PROP-G / PROP-O /
+LTM / none), heterogeneity, churn — and :func:`run_experiment` runs it,
+sampling the paper's metrics (stretch, average lookup latency, protocol
+overhead counters) on a fixed interval.  Every figure-regeneration
+benchmark is a thin sweep over these configs.
+
+World-building is deterministic in ``seed``: two configs differing only
+in the protocol field share the *identical* physical network, overlay
+graph, heterogeneity assignment and lookup stream, so protocol curves
+are directly comparable ("same world, different optimizer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.baselines.ltm import LTMConfig, LTMOptimizer
+from repro.baselines.pis import pis_embedding
+from repro.baselines.pns import PNSChordOverlay
+from repro.core.config import PROPConfig
+from repro.core.protocol import PROPEngine
+from repro.metrics.stretch import stretch as stretch_metric
+from repro.netsim.engine import Simulator
+from repro.netsim.rng import RngRegistry
+from repro.overlay.base import Overlay
+from repro.overlay.can import CANOverlay
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.gnutella import GnutellaOverlay
+from repro.overlay.kademlia import KademliaOverlay
+from repro.overlay.pastry import PastryOverlay
+from repro.topology.latency import LatencyOracle
+from repro.topology.presets import build_preset
+from repro.workloads.churn import ChurnConfig, ChurnProcess
+from repro.workloads.heterogeneity import (
+    BimodalDelay,
+    bimodal_processing_delay,
+    capacity_weights_from_delay,
+)
+from repro.workloads.lookups import biased_target_pairs, uniform_keys, uniform_pairs
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "World",
+    "build_world",
+    "run_experiment",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full description of one simulated deployment.
+
+    Parameters mirror the paper's experimental setup (Section 5.1):
+    ``preset`` picks the GT-ITM model, ``n_overlay`` the number of peers
+    (default 1000), and the protocol fields the optimizer under test.
+    """
+
+    seed: int = 0
+    preset: str = "ts-large"
+    n_overlay: int = 1000
+    n_spare: int = 0
+    overlay_kind: str = "gnutella"  # gnutella | chord | can | pastry | kademlia
+    overlay_options: dict[str, Any] = field(default_factory=dict)
+    # optimizers (at most one of prop / ltm)
+    prop: PROPConfig | None = None
+    ltm: LTMConfig | None = None
+    # environment
+    heterogeneous: bool = False
+    fast_fraction: float = 0.5
+    fast_ms: float = 1.0
+    slow_ms: float = 100.0
+    capacity_degree_bias: bool = True
+    fast_degree_weight: float = 4.0
+    fast_lookup_fraction: float | None = None
+    churn: ChurnConfig | None = None
+    pis_landmarks: int | None = None  # Chord: PIS identifier assignment
+    pns: bool = False  # Chord: proximity-selected fingers
+    pns_refresh_interval: float | None = None
+    # measurement
+    duration: float = 1800.0
+    sample_interval: float = 120.0
+    lookups_per_sample: int = 1000
+    flood_ttl: int | None = None  # None = unbounded flood (exact Dijkstra)
+    retry_timeout: float | None = 4000.0  # requery cost for out-of-scope floods
+
+    def __post_init__(self) -> None:
+        if self.overlay_kind not in ("gnutella", "chord", "can", "pastry", "kademlia"):
+            raise ValueError(f"unknown overlay kind {self.overlay_kind!r}")
+        if self.prop is not None and self.ltm is not None:
+            raise ValueError("configure at most one optimizer (prop or ltm)")
+        if self.n_overlay < 8:
+            raise ValueError("n_overlay must be >= 8")
+        if self.n_spare < 0:
+            raise ValueError("n_spare must be >= 0")
+        if self.churn is not None and self.n_spare == 0:
+            raise ValueError("churn needs n_spare > 0 replacement hosts")
+        if self.fast_lookup_fraction is not None and not self.heterogeneous:
+            raise ValueError("fast_lookup_fraction requires heterogeneous=True")
+        if self.duration < self.sample_interval:
+            raise ValueError("duration must cover at least one sample interval")
+        if (self.pis_landmarks is not None or self.pns) and self.overlay_kind != "chord":
+            raise ValueError("PIS/PNS apply to the chord overlay only")
+        rewiring_optimizer = self.ltm is not None or (
+            self.prop is not None and self.prop.policy == "O"
+        )
+        if rewiring_optimizer and self.overlay_kind != "gnutella":
+            raise ValueError(
+                "PROP-O and LTM rewire logical edges; only unstructured "
+                "(gnutella) overlays tolerate that — use PROP-G on "
+                "structured overlays"
+            )
+
+    def but(self, **kwargs) -> "ExperimentConfig":
+        """Copy with overrides (sweep helper)."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class World:
+    """Everything :func:`run_experiment` operates on."""
+
+    config: ExperimentConfig
+    rngs: RngRegistry
+    sim: Simulator
+    oracle: LatencyOracle
+    overlay: Overlay
+    het: BimodalDelay | None
+    engine: PROPEngine | None
+    ltm: LTMOptimizer | None
+    churn: ChurnProcess | None
+    spare_hosts: list[int]
+
+
+@dataclass
+class ExperimentResult:
+    """Sampled time series plus final protocol counters.
+
+    ``stretch`` is the routing stretch (overlay route latency over direct
+    latency for the sampled queries — the paper's Fig. 6 metric);
+    ``link_stretch`` is the link-based form the Section 4.2 analysis
+    descends.  ``lookup_latency`` is the mean end-to-end lookup latency
+    (the paper's Fig. 5/7 metric).
+    """
+
+    config: ExperimentConfig
+    times: np.ndarray
+    stretch: np.ndarray
+    link_stretch: np.ndarray
+    lookup_latency: np.ndarray
+    probes: np.ndarray  # cumulative probe count at each sample
+    messages: np.ndarray  # cumulative protocol messages at each sample
+    exchanges: np.ndarray  # cumulative successful exchanges
+    final_counters: Any
+
+    @property
+    def initial_lookup_latency(self) -> float:
+        return float(self.lookup_latency[0])
+
+    @property
+    def final_lookup_latency(self) -> float:
+        return float(self.lookup_latency[-1])
+
+    @property
+    def initial_stretch(self) -> float:
+        return float(self.stretch[0])
+
+    @property
+    def final_stretch(self) -> float:
+        return float(self.stretch[-1])
+
+    def improvement_ratio(self, metric: str = "lookup_latency") -> float:
+        """final / initial for the chosen metric (< 1 means improvement)."""
+        series = getattr(self, metric)
+        return float(series[-1] / series[0])
+
+    def probe_rate(self) -> np.ndarray:
+        """Probes per second between consecutive samples."""
+        dt = np.diff(self.times)
+        return np.diff(self.probes) / np.where(dt > 0, dt, 1.0)
+
+
+def build_world(config: ExperimentConfig) -> World:
+    """Construct the physical network, overlay, and optimizer stack."""
+    rngs = RngRegistry(config.seed)
+    net = build_preset(config.preset, rngs.stream("topology"))
+
+    stub = net.stub_hosts
+    need = config.n_overlay + config.n_spare
+    if need > stub.size:
+        raise ValueError(
+            f"preset {config.preset!r} has {stub.size} stub hosts; "
+            f"cannot place {need} overlay+spare members"
+        )
+    members = rngs.stream("membership").choice(stub, size=need, replace=False)
+    oracle = LatencyOracle(net, members)
+
+    het: BimodalDelay | None = None
+    if config.heterogeneous:
+        het = bimodal_processing_delay(
+            need,
+            rngs.stream("heterogeneity"),
+            fast_fraction=config.fast_fraction,
+            fast_ms=config.fast_ms,
+            slow_ms=config.slow_ms,
+        )
+
+    overlay_embedding = np.arange(config.n_overlay, dtype=np.intp)
+    spare_hosts = list(range(config.n_overlay, need))
+    overlay = _build_overlay(config, oracle, overlay_embedding, het, rngs)
+
+    sim = Simulator()
+    engine: PROPEngine | None = None
+    ltm: LTMOptimizer | None = None
+    if config.prop is not None:
+        engine = PROPEngine(overlay, config.prop, sim, rngs)
+        engine.start()
+    elif config.ltm is not None:
+        ltm = LTMOptimizer(overlay, config.ltm, sim, rngs)
+        ltm.start()
+
+    churn: ChurnProcess | None = None
+    if config.churn is not None:
+        on_replace = engine.reset_slot if engine is not None else None
+        churn = ChurnProcess(
+            overlay,
+            config.churn,
+            sim,
+            rngs.stream("churn"),
+            spare_hosts,
+            on_replace=on_replace,
+        )
+        churn.start()
+
+    if config.pns and config.pns_refresh_interval is not None:
+        assert isinstance(overlay, PNSChordOverlay)
+        sim.every(config.pns_refresh_interval, overlay.refresh)
+
+    return World(
+        config=config,
+        rngs=rngs,
+        sim=sim,
+        oracle=oracle,
+        overlay=overlay,
+        het=het,
+        engine=engine,
+        ltm=ltm,
+        churn=churn,
+        spare_hosts=spare_hosts,
+    )
+
+
+def _build_overlay(
+    config: ExperimentConfig,
+    oracle: LatencyOracle,
+    embedding: np.ndarray,
+    het: BimodalDelay | None,
+    rngs: RngRegistry,
+) -> Overlay:
+    kind = config.overlay_kind
+    opts = dict(config.overlay_options)
+    rng = rngs.stream(f"overlay:{kind}")
+    if kind == "gnutella":
+        if het is not None and config.capacity_degree_bias:
+            opts.setdefault(
+                "capacity_weight",
+                capacity_weights_from_delay(het, embedding, fast_weight=config.fast_degree_weight),
+            )
+        return GnutellaOverlay.build(oracle, rng, embedding=embedding, **opts)
+    if kind == "chord":
+        if config.pis_landmarks is not None:
+            full = pis_embedding(oracle, rngs.stream("pis"), n_landmarks=config.pis_landmarks)
+            embedding = full[np.isin(full, embedding)]
+        else:
+            embedding = rng.permutation(embedding)
+        cls = PNSChordOverlay if config.pns else ChordOverlay
+        return cls.build(oracle, rng, embedding=embedding, **opts)
+    if kind == "can":
+        return CANOverlay.build(oracle, rng, embedding=rng.permutation(embedding), **opts)
+    if kind == "pastry":
+        return PastryOverlay.build(oracle, rng, embedding=rng.permutation(embedding), **opts)
+    if kind == "kademlia":
+        return KademliaOverlay.build(oracle, rng, embedding=rng.permutation(embedding), **opts)
+    raise AssertionError(f"unhandled overlay kind {kind}")
+
+
+def _direct_mean(overlay: Overlay, src: np.ndarray, dst: np.ndarray) -> float:
+    """Mean direct physical latency between slot pairs."""
+    emb = overlay.embedding
+    return float(overlay.oracle.matrix[emb[src], emb[dst]].mean())
+
+
+def _sample_lookup_latency(world: World) -> tuple[float, float]:
+    """(mean lookup latency, mean direct latency) on a fresh workload draw.
+
+    The ratio of the two is the routing stretch of this sample; the
+    workload stream is a persistent named RNG, so successive samples see
+    fresh-but-reproducible draws and two configs sharing a seed see the
+    *same* query sequence.
+    """
+    config = world.config
+    overlay = world.overlay
+    rng = world.rngs.stream("lookup-workload")
+    k = config.lookups_per_sample
+    node_delay = world.het.slot_delays(overlay.embedding) if world.het is not None else None
+
+    if isinstance(overlay, GnutellaOverlay):
+        if config.fast_lookup_fraction is not None:
+            assert world.het is not None
+            pairs = biased_target_pairs(
+                world.het.fast_slots(overlay.embedding),
+                world.het.slow_slots(overlay.embedding),
+                config.fast_lookup_fraction,
+                k,
+                rng,
+            )
+        else:
+            pairs = uniform_pairs(overlay.n_slots, k, rng)
+        mean_lookup = overlay.mean_lookup_latency(
+            pairs,
+            node_delay=node_delay,
+            ttl=config.flood_ttl,
+            retry_timeout=config.retry_timeout,
+        )
+        return mean_lookup, _direct_mean(overlay, pairs[:, 0], pairs[:, 1])
+
+    if isinstance(overlay, (ChordOverlay, PastryOverlay, KademliaOverlay)):
+        queries = uniform_keys(overlay.n_slots, overlay.space, k, rng)
+        total = 0.0
+        owners = np.empty(k, dtype=np.intp)
+        for i, (src, key) in enumerate(queries):
+            total += overlay.lookup_latency(int(src), int(key), node_delay)
+            owners[i] = overlay.owner_of_key(int(key))
+        return total / k, _direct_mean(overlay, queries[:, 0].astype(np.intp), owners)
+
+    if isinstance(overlay, CANOverlay):
+        pairs = uniform_pairs(overlay.n_slots, k, rng)
+        total = 0.0
+        for src, dst in pairs:
+            point = overlay.zones[int(dst)].center()
+            total += overlay.lookup_latency(int(src), point, node_delay)
+        return total / k, _direct_mean(overlay, pairs[:, 0], pairs[:, 1])
+
+    raise AssertionError("unknown overlay type")
+
+
+def run_experiment(config: ExperimentConfig, *, measure_lookups: bool = True) -> ExperimentResult:
+    """Run the deployment and sample metrics every ``sample_interval``.
+
+    The ``times[0]`` sample is taken *before* any protocol activity, so
+    series are directly interpretable as improvement-over-initial.
+    """
+    world = build_world(config)
+    n_samples = int(np.floor(config.duration / config.sample_interval)) + 1
+    times = np.arange(n_samples) * config.sample_interval
+
+    link_stretch_series = np.empty(n_samples)
+    stretch_series = np.full(n_samples, np.nan)
+    lookup_series = np.full(n_samples, np.nan)
+    probes = np.zeros(n_samples, dtype=np.int64)
+    messages = np.zeros(n_samples, dtype=np.int64)
+    exchanges = np.zeros(n_samples, dtype=np.int64)
+
+    for i, t in enumerate(times):
+        world.sim.run_until(float(t))
+        link_stretch_series[i] = stretch_metric(world.overlay)
+        if measure_lookups:
+            mean_lookup, mean_direct = _sample_lookup_latency(world)
+            lookup_series[i] = mean_lookup
+            stretch_series[i] = mean_lookup / mean_direct if mean_direct > 0 else np.nan
+        if world.engine is not None:
+            probes[i] = world.engine.counters.probes
+            messages[i] = world.engine.counters.total_messages
+            exchanges[i] = world.engine.counters.exchanges
+        elif world.ltm is not None:
+            probes[i] = world.ltm.counters.rounds
+            messages[i] = world.ltm.counters.detector_messages
+            exchanges[i] = world.ltm.counters.cuts + world.ltm.counters.adds
+
+    final = world.engine.counters if world.engine is not None else (
+        world.ltm.counters if world.ltm is not None else None
+    )
+    return ExperimentResult(
+        config=config,
+        times=times,
+        stretch=stretch_series,
+        link_stretch=link_stretch_series,
+        lookup_latency=lookup_series,
+        probes=probes,
+        messages=messages,
+        exchanges=exchanges,
+        final_counters=final,
+    )

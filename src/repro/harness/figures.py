@@ -1,0 +1,119 @@
+"""Named registry of the paper's figure configurations.
+
+Each entry maps a figure id (``fig5a`` … ``fig7``) to the labelled
+config sweep that regenerates it, at either ``paper`` scale (n = 1000,
+one simulated hour — what benchmarks/ runs) or ``quick`` scale (n = 200,
+a few simulated minutes — a laptop sanity pass).  Consumed by the CLI
+(``python -m repro figure fig6a``) and usable directly:
+
+>>> from repro.harness.figures import figure_configs
+>>> from repro.harness.sweep import run_sweep
+>>> results = run_sweep(figure_configs("fig6a", scale="quick"))
+"""
+
+from __future__ import annotations
+
+from repro.baselines.ltm import LTMConfig
+from repro.core.config import PROPConfig
+from repro.harness.experiment import ExperimentConfig
+
+__all__ = ["FIGURE_IDS", "figure_configs", "figure_description"]
+
+_DESCRIPTIONS = {
+    "fig5a": "PROP-G / Gnutella: lookup latency vs time, varying probe TTL",
+    "fig5b": "PROP-G / Gnutella: lookup latency vs time, varying system size",
+    "fig5c": "PROP-G / Gnutella: lookup latency vs time, two topologies",
+    "fig6a": "PROP-G / Chord: stretch vs time, varying probe TTL",
+    "fig6b": "PROP-G / Chord: stretch vs time, varying system size",
+    "fig6c": "PROP-G / Chord: stretch vs time, two topologies",
+    "fig7": "heterogeneous bimodal delays: PROP-O vs PROP-G vs LTM over fast-lookup fractions",
+}
+
+FIGURE_IDS = tuple(sorted(_DESCRIPTIONS))
+
+
+def figure_description(figure_id: str) -> str:
+    try:
+        return _DESCRIPTIONS[figure_id]
+    except KeyError:
+        raise KeyError(f"unknown figure {figure_id!r}; choose from {FIGURE_IDS}") from None
+
+
+def _base(scale: str, **overrides) -> ExperimentConfig:
+    if scale == "paper":
+        defaults = dict(
+            preset="ts-large", n_overlay=1000,
+            duration=3600.0, sample_interval=360.0, lookups_per_sample=1000,
+        )
+    elif scale == "quick":
+        defaults = dict(
+            preset="ts-large", n_overlay=200,
+            duration=1200.0, sample_interval=300.0, lookups_per_sample=200,
+        )
+    else:
+        raise ValueError(f"scale must be 'paper' or 'quick', got {scale!r}")
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def figure_configs(figure_id: str, *, scale: str = "paper") -> dict[str, ExperimentConfig]:
+    """The labelled config sweep behind one figure."""
+    figure_description(figure_id)  # validate id
+
+    if figure_id in ("fig5a", "fig6a"):
+        kind = "gnutella" if figure_id == "fig5a" else "chord"
+        scenarios = {
+            "nhops=1": PROPConfig(policy="G", nhops=1),
+            "nhops=2": PROPConfig(policy="G", nhops=2),
+            "nhops=4": PROPConfig(policy="G", nhops=4),
+            "random": PROPConfig(policy="G", random_probe=True),
+        }
+        return {
+            label: _base(scale, overlay_kind=kind, prop=prop)
+            for label, prop in scenarios.items()
+        }
+
+    if figure_id in ("fig5b", "fig6b"):
+        kind = "gnutella" if figure_id == "fig5b" else "chord"
+        sizes = (300, 500, 1000, 5000) if scale == "paper" else (100, 200, 400)
+        return {
+            f"n={n}": _base(
+                scale,
+                overlay_kind=kind,
+                n_overlay=n,
+                prop=PROPConfig(policy="G"),
+                lookups_per_sample=min(1000, 2 * n),
+            )
+            for n in sizes
+        }
+
+    if figure_id in ("fig5c", "fig6c"):
+        kind = "gnutella" if figure_id == "fig5c" else "chord"
+        return {
+            preset: _base(scale, overlay_kind=kind, preset=preset, prop=PROPConfig(policy="G"))
+            for preset in ("ts-large", "ts-small")
+        }
+
+    # fig7
+    het = dict(
+        overlay_kind="gnutella",
+        heterogeneous=True,
+        fast_degree_weight=8.0,
+        flood_ttl=7,
+        overlay_options={"min_degree": 3, "mean_extra_degree": 3.0},
+    )
+    fractions = (0.0, 0.5, 1.0) if scale == "quick" else (0.0, 0.25, 0.5, 0.75, 1.0)
+    protocols = {
+        "PROP-O m=1": dict(prop=PROPConfig(policy="O", m=1)),
+        "PROP-O m=4": dict(prop=PROPConfig(policy="O", m=4)),
+        "PROP-G": dict(prop=PROPConfig(policy="G")),
+        "LTM": dict(ltm=LTMConfig(max_cuts_per_round=4)),
+        "none": {},
+    }
+    out: dict[str, ExperimentConfig] = {}
+    for label, kw in protocols.items():
+        for phi in fractions:
+            out[f"{label} phi={phi}"] = _base(
+                scale, fast_lookup_fraction=phi, **het, **kw
+            )
+    return out

@@ -1,0 +1,54 @@
+"""Paper-style plain-text tables and series.
+
+The benchmarks print the same rows/series the paper's figures plot;
+these helpers keep that output consistent and regression-diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt_cell(x: object, width: int) -> str:
+    if isinstance(x, float) or isinstance(x, np.floating):
+        s = f"{float(x):.3f}"
+    else:
+        s = str(x)
+    return s.rjust(width)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, min_width: int = 10) -> str:
+    """Fixed-width table with a header rule."""
+    rows = [list(r) for r in rows]
+    widths = []
+    for c, h in enumerate(headers):
+        w = max(len(str(h)), min_width)
+        for r in rows:
+            cell = r[c]
+            s = f"{float(cell):.3f}" if isinstance(cell, (float, np.floating)) else str(cell)
+            w = max(w, len(s))
+        widths.append(w)
+    out = ["  ".join(str(h).rjust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        out.append("  ".join(_fmt_cell(x, w) for x, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def format_series(
+    name: str,
+    times: np.ndarray,
+    series_by_label: dict[str, np.ndarray],
+    *,
+    time_label: str = "t(s)",
+) -> str:
+    """One column of timestamps plus one column per labelled series."""
+    headers = [time_label] + list(series_by_label)
+    rows = []
+    for i, t in enumerate(np.asarray(times)):
+        rows.append([f"{float(t):.0f}"] + [float(series_by_label[k][i]) for k in series_by_label])
+    return f"== {name} ==\n" + format_table(headers, rows)

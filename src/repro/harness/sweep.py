@@ -1,0 +1,29 @@
+"""Parameter sweeps over experiment configs.
+
+A sweep is an ordered mapping ``label -> config``; :func:`run_sweep`
+executes each and returns ``label -> result``, preserving order so the
+benchmark printers emit columns in the declared order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+__all__ = ["run_sweep"]
+
+
+def run_sweep(
+    configs: dict[str, ExperimentConfig],
+    *,
+    measure_lookups: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run every labelled config; returns results in the same order."""
+    results: dict[str, ExperimentResult] = {}
+    for label, cfg in configs.items():
+        if progress is not None:
+            progress(label)
+        results[label] = run_experiment(cfg, measure_lookups=measure_lookups)
+    return results

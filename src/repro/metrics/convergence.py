@@ -1,0 +1,53 @@
+"""Convergence detection over metric time series.
+
+Used to verify the paper's warm-up claim ("the topology will become
+stable after a warm-up procedure", with ``MAX_INIT_TRIAL`` shown "to be
+less than ten") and the churn-recovery experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["first_stable_index", "convergence_epoch"]
+
+
+def first_stable_index(
+    series: np.ndarray,
+    *,
+    rel_tol: float = 0.01,
+    window: int = 3,
+) -> int | None:
+    """Index where the series first becomes stable.
+
+    Stable at index ``i`` means every subsequent step inside the window
+    changes by less than ``rel_tol`` relative to the value at ``i``.
+    Returns ``None`` when the series never settles.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    n = series.size
+    for i in range(n - window):
+        ref = series[i]
+        scale = abs(ref) if ref != 0 else 1.0
+        seg = series[i : i + window + 1]
+        if np.all(np.abs(np.diff(seg)) < rel_tol * scale):
+            return i
+    return None
+
+
+def convergence_epoch(
+    times: np.ndarray,
+    series: np.ndarray,
+    *,
+    rel_tol: float = 0.01,
+    window: int = 3,
+) -> float | None:
+    """Time at which the series first becomes stable (or ``None``)."""
+    times = np.asarray(times, dtype=np.float64)
+    series = np.asarray(series, dtype=np.float64)
+    if times.shape != series.shape:
+        raise ValueError("times and series must align")
+    idx = first_stable_index(series, rel_tol=rel_tol, window=window)
+    return float(times[idx]) if idx is not None else None

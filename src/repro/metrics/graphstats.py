@@ -1,0 +1,96 @@
+"""Structural statistics of overlay graphs.
+
+Used to characterize what the optimizers do to the topology beyond
+latency: degree distributions (is the power-law-ish shape preserved?),
+clustering (does proximity optimization create cliques?), and hop
+diameter (does rewiring stretch flood reachability? — the effect that
+makes TTL-bounded floods fail after aggressive PROP-O runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import csgraph
+
+from repro.overlay.base import Overlay
+
+__all__ = ["GraphStats", "graph_stats", "hop_distance_matrix"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Snapshot of an overlay's structural shape."""
+
+    n_nodes: int
+    n_edges: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    degree_std: float
+    mean_clustering: float
+    mean_hop_distance: float
+    hop_diameter: int
+
+
+def hop_distance_matrix(overlay: Overlay, sources: np.ndarray | None = None) -> np.ndarray:
+    """Unweighted hop distances from ``sources`` (default: all slots)."""
+    u, v = overlay.edge_arrays()
+    n = overlay.n_slots
+    if sources is None:
+        sources = np.arange(n)
+    if u.size == 0:
+        out = np.full((len(sources), n), np.inf)
+        out[np.arange(len(sources)), sources] = 0.0
+        return out
+    data = np.ones(2 * u.size)
+    mat = sparse.coo_matrix(
+        (data, (np.concatenate([u, v]), np.concatenate([v, u]))), shape=(n, n)
+    ).tocsr()
+    return csgraph.shortest_path(mat, method="D", unweighted=True, indices=sources)
+
+
+def _local_clustering(overlay: Overlay, slot: int) -> float:
+    nbrs = overlay.neighbor_list(slot)
+    k = len(nbrs)
+    if k < 2:
+        return 0.0
+    links = 0
+    nbr_set = overlay.neighbors(slot)
+    for i, a in enumerate(nbrs):
+        links += len(overlay.neighbors(a) & nbr_set)
+    # each triangle edge counted twice in the loop above
+    return links / (k * (k - 1))
+
+
+def graph_stats(overlay: Overlay, *, hop_sample: int | None = 200,
+                rng: np.random.Generator | None = None) -> GraphStats:
+    """Compute structural statistics.
+
+    ``hop_sample`` bounds the number of BFS sources for the hop-distance
+    figures (exact when the overlay is smaller); pass ``None`` for exact
+    all-pairs.
+    """
+    deg = overlay.degree_sequence()
+    n = overlay.n_slots
+    if hop_sample is not None and hop_sample < n:
+        rng = rng or np.random.default_rng(0)
+        sources = rng.choice(n, size=hop_sample, replace=False)
+    else:
+        sources = np.arange(n)
+    hops = hop_distance_matrix(overlay, sources)
+    finite = hops[np.isfinite(hops)]
+    clustering = float(np.mean([_local_clustering(overlay, s) for s in range(n)]))
+    return GraphStats(
+        n_nodes=n,
+        n_edges=overlay.n_edges,
+        min_degree=int(deg.min()),
+        max_degree=int(deg.max()),
+        mean_degree=float(deg.mean()),
+        degree_std=float(deg.std()),
+        mean_clustering=clustering,
+        mean_hop_distance=float(finite[finite > 0].mean()) if np.any(finite > 0) else 0.0,
+        hop_diameter=int(finite.max()) if finite.size else 0,
+    )

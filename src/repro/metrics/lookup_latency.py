@@ -1,0 +1,38 @@
+"""Lookup-latency measurement wrappers.
+
+Thin, overlay-specific front-ends used by the experiment harness: they
+accept host-space heterogeneity (per-host processing delays) and take
+care of the host->slot projection through the current embedding, so a
+caller never accidentally freezes delays against a stale embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.gnutella import GnutellaOverlay
+from repro.workloads.heterogeneity import BimodalDelay
+
+__all__ = ["gnutella_mean_lookup_latency", "chord_mean_lookup_latency"]
+
+
+def gnutella_mean_lookup_latency(
+    overlay: GnutellaOverlay,
+    pairs: np.ndarray,
+    het: BimodalDelay | None = None,
+    ttl: int | None = None,
+) -> float:
+    """Mean flooded-lookup latency over (src, dst) slot pairs."""
+    node_delay = het.slot_delays(overlay.embedding) if het is not None else None
+    return overlay.mean_lookup_latency(pairs, node_delay=node_delay, ttl=ttl)
+
+
+def chord_mean_lookup_latency(
+    overlay: ChordOverlay,
+    queries: np.ndarray,
+    het: BimodalDelay | None = None,
+) -> float:
+    """Mean greedy-routing lookup latency over (src, key) queries."""
+    node_delay = het.slot_delays(overlay.embedding) if het is not None else None
+    return overlay.mean_lookup_latency(queries, node_delay=node_delay)

@@ -1,0 +1,40 @@
+"""Overhead model of Section 4.3.
+
+"For an overlay network with n peers, we use c to denote the average
+number of neighbors.  For each peer, one step of adjustment will involve
+(nhop + 2c) for PROP-G, and (nhop + 2m) for PROP-O. …  In the worst
+case, when each peer has to probe every time, the frequency will be
+f_p = 1 / INIT_TIMER."
+
+These closed forms are checked against the engine's measured counters by
+the overhead benchmark.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "prop_g_step_messages",
+    "prop_o_step_messages",
+    "worst_case_probe_frequency",
+]
+
+
+def prop_g_step_messages(nhop: int, c: float) -> float:
+    """Messages per PROP-G adjustment step: ``nhop + 2c``."""
+    if nhop < 1 or c < 0:
+        raise ValueError("nhop must be >= 1 and c >= 0")
+    return nhop + 2.0 * c
+
+
+def prop_o_step_messages(nhop: int, m: int) -> float:
+    """Messages per PROP-O adjustment step: ``nhop + 2m``."""
+    if nhop < 1 or m < 1:
+        raise ValueError("nhop must be >= 1 and m >= 1")
+    return nhop + 2.0 * m
+
+
+def worst_case_probe_frequency(init_timer: float) -> float:
+    """Worst-case per-node probe frequency ``f_p = 1 / INIT_TIMER``."""
+    if init_timer <= 0:
+        raise ValueError("init_timer must be positive")
+    return 1.0 / init_timer

@@ -1,0 +1,54 @@
+"""Latency-distribution summaries (beyond-paper extension).
+
+The paper reports means only; tail latency is where topology mismatch
+and slow-node processing bite first, so the benchmarks also report
+p50/p90/p99 envelopes computed here.  Infinite entries (failed flood
+lookups) are excluded from percentiles but surfaced as a failure
+fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencyDistribution", "summarize_latencies"]
+
+
+@dataclass(frozen=True)
+class LatencyDistribution:
+    """Summary statistics of one lookup-latency sample."""
+
+    count: int
+    failures: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.count if self.count else 0.0
+
+
+def summarize_latencies(values: np.ndarray) -> LatencyDistribution:
+    """Summarize a per-lookup latency vector (``inf`` = failed lookup)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("need a non-empty 1-D latency vector")
+    finite = values[np.isfinite(values)]
+    failures = int(values.size - finite.size)
+    if finite.size == 0:
+        nan = float("nan")
+        return LatencyDistribution(values.size, failures, nan, nan, nan, nan, nan)
+    return LatencyDistribution(
+        count=int(values.size),
+        failures=failures,
+        mean=float(finite.mean()),
+        p50=float(np.percentile(finite, 50)),
+        p90=float(np.percentile(finite, 90)),
+        p99=float(np.percentile(finite, 99)),
+        max=float(finite.max()),
+    )

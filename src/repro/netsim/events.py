@@ -1,0 +1,118 @@
+"""Event queue for the discrete-event engine.
+
+A classic binary-heap agenda with three properties the protocol code
+relies on:
+
+* **Stable ordering** — events at the same timestamp fire in insertion
+  order (a monotone sequence number breaks ties), so simulations are
+  exactly reproducible.
+* **O(log n) cancellation** — cancelling marks the event dead and the pop
+  loop skips corpses; the PROP timer logic cancels and reschedules
+  constantly, so cancellation must be cheap.
+* **No payload restrictions** — an event is just a callback plus
+  positional arguments.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventHandle", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by ``(time, seq)``."""
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`EventQueue.push`.
+
+    Holding a handle lets the owner cancel the event or ask whether it is
+    still pending.
+    """
+
+    __slots__ = ("_event", "_queue")
+
+    def __init__(self, event: Event, queue: "EventQueue") -> None:
+        self._event = event
+        self._queue = queue
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def pending(self) -> bool:
+        return not self._event.cancelled
+
+    def cancel(self) -> bool:
+        """Mark the event dead.  Returns ``True`` if it was still live."""
+        if self._event.cancelled:
+            return False
+        self._event.cancelled = True
+        self._queue._on_cancel()
+        return True
+
+
+class EventQueue:
+    """Min-heap agenda of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        if time < 0.0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        ev = Event(time=float(time), seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, ev)
+        return EventHandle(ev, self)
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` when empty."""
+        self._drop_dead()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises :class:`IndexError` when no live events remain.
+        """
+        self._drop_dead()
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        ev = heapq.heappop(self._heap)
+        self._live -= 1
+        return ev
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0
+
+    def _on_cancel(self) -> None:
+        self._live -= 1
+
+    def _drop_dead(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)

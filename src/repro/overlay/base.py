@@ -1,0 +1,323 @@
+"""Overlay = logical graph + physical embedding.
+
+The central modelling decision of this reproduction (see DESIGN.md §2):
+an overlay network is
+
+* a **logical graph** over slots ``0..n-1`` — the ring-with-fingers of
+  Chord, the zone adjacency of CAN, the random graph of Gnutella; and
+* an **embedding** array mapping each slot to a *member host* index in a
+  :class:`~repro.topology.latency.LatencyOracle`.
+
+The paper's two exchange primitives map onto this split exactly:
+
+* **PROP-G** swaps two entries of the embedding.  The logical topology is
+  untouched, which *is* Theorem 2 (isomorphism) by construction, and
+  connectivity persistence (Theorem 1) is trivial.
+* **PROP-O** rewires ``m`` logical edges between two slots.  Degrees are
+  preserved by trading equal numbers of edges, and connectivity is
+  preserved because exchanged neighbors never lie on the probe walk path
+  (the Theorem 1 argument).
+
+Hot-path note: edge latency queries go through a dense numpy matrix with
+fancy indexing; the per-slot neighbor latency sum used by the Var test is
+a single vectorized reduction over a row view (no copies), per the HPC
+guide idioms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+import numpy as np
+
+from repro.topology.latency import LatencyOracle
+
+__all__ = ["Overlay"]
+
+
+class Overlay:
+    """A logical overlay graph embedded into a physical network.
+
+    Parameters
+    ----------
+    oracle:
+        Pairwise latency oracle among member hosts.
+    embedding:
+        ``embedding[slot]`` is the member-host index occupying ``slot``.
+        Must be a permutation-free injection into ``range(oracle.n)``
+        (two slots can never share a host).
+    """
+
+    #: Whether the overlay tolerates free edge rewiring (PROP-O, LTM).
+    #: Structured overlays derive their edges from identifiers/zones, so
+    #: rewiring would silently corrupt routing — they override to False
+    #: and only position exchange (PROP-G) may be deployed on them, which
+    #: is exactly the paper's protocol-applicability matrix.
+    supports_rewiring: bool = True
+
+    def __init__(self, oracle: LatencyOracle, embedding: np.ndarray | Iterable[int]) -> None:
+        emb = np.array(list(embedding) if not isinstance(embedding, np.ndarray) else embedding,
+                       dtype=np.intp)
+        if emb.ndim != 1 or emb.size == 0:
+            raise ValueError("embedding must be a non-empty 1-D array")
+        if np.unique(emb).size != emb.size:
+            raise ValueError("embedding must map slots to distinct hosts")
+        if emb.min() < 0 or emb.max() >= oracle.n:
+            raise ValueError("embedding refers to a host outside the oracle")
+        self.oracle = oracle
+        self.embedding = emb
+        self.n_slots = int(emb.size)
+        self._adj: list[set[int]] = [set() for _ in range(self.n_slots)]
+        self._n_edges = 0
+        # Version counters let cached views (edge arrays for the
+        # vectorized flooding model) invalidate themselves lazily.
+        self.topology_version = 0
+        self.embedding_version = 0
+        self._edge_cache: tuple[int, np.ndarray, np.ndarray] | None = None
+
+    # -- construction ----------------------------------------------------
+
+    def add_edge(self, a: int, b: int) -> None:
+        """Insert undirected logical edge (a, b)."""
+        self._check_slot(a)
+        self._check_slot(b)
+        if a == b:
+            raise ValueError(f"self-loop at slot {a}")
+        if b in self._adj[a]:
+            raise ValueError(f"duplicate edge ({a}, {b})")
+        self._adj[a].add(b)
+        self._adj[b].add(a)
+        self._n_edges += 1
+        self.topology_version += 1
+
+    def remove_edge(self, a: int, b: int) -> None:
+        """Delete undirected logical edge (a, b)."""
+        if b not in self._adj[a]:
+            raise ValueError(f"edge ({a}, {b}) not present")
+        self._adj[a].discard(b)
+        self._adj[b].discard(a)
+        self._n_edges -= 1
+        self.topology_version += 1
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return b in self._adj[a]
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def n_edges(self) -> int:
+        return self._n_edges
+
+    def neighbors(self, slot: int) -> frozenset[int]:
+        """Neighbor set of ``slot`` (immutable snapshot view)."""
+        return frozenset(self._adj[slot])
+
+    def neighbor_list(self, slot: int) -> list[int]:
+        """Neighbors of ``slot`` as a list (cheap, order unspecified)."""
+        return list(self._adj[slot])
+
+    def degree(self, slot: int) -> int:
+        return len(self._adj[slot])
+
+    def degree_sequence(self) -> np.ndarray:
+        return np.asarray([len(s) for s in self._adj], dtype=np.int64)
+
+    def min_degree(self) -> int:
+        """δ(G) — the default PROP-O exchange size ``m``."""
+        return int(min(len(s) for s in self._adj))
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Yield each undirected edge once as (a, b) with a < b."""
+        for a, nbrs in enumerate(self._adj):
+            for b in nbrs:
+                if a < b:
+                    yield (a, b)
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Edges as parallel (u, v) arrays, cached per topology version."""
+        cache = self._edge_cache
+        if cache is not None and cache[0] == self.topology_version:
+            return cache[1], cache[2]
+        if self._n_edges:
+            pairs = np.fromiter(
+                (x for e in self.iter_edges() for x in e),
+                dtype=np.intp,
+                count=2 * self._n_edges,
+            ).reshape(-1, 2)
+            u, v = pairs[:, 0].copy(), pairs[:, 1].copy()
+        else:
+            u = np.empty(0, dtype=np.intp)
+            v = np.empty(0, dtype=np.intp)
+        self._edge_cache = (self.topology_version, u, v)
+        return u, v
+
+    # -- latency -----------------------------------------------------------
+
+    def latency(self, a: int, b: int) -> float:
+        """Physical latency (ms) between the hosts at slots ``a`` and ``b``."""
+        emb = self.embedding
+        return float(self.oracle.matrix[emb[a], emb[b]])
+
+    def latencies_from(self, slot: int, others: Iterable[int]) -> np.ndarray:
+        """Vector of latencies from ``slot`` to each slot in ``others``."""
+        others = np.asarray(list(others), dtype=np.intp)
+        if others.size == 0:
+            return np.empty(0, dtype=np.float64)
+        emb = self.embedding
+        return self.oracle.matrix[emb[slot], emb[others]]
+
+    def neighbor_latency_sum(self, slot: int) -> float:
+        """``sum_{i in N(slot)} d(slot, i)`` — the Var building block."""
+        nbrs = self._adj[slot]
+        if not nbrs:
+            return 0.0
+        emb = self.embedding
+        idx = np.fromiter(nbrs, dtype=np.intp, count=len(nbrs))
+        return float(self.oracle.matrix[emb[slot], emb[idx]].sum())
+
+    def mean_logical_edge_latency(self) -> float:
+        """Mean latency over logical edges — the stretch numerator."""
+        if self._n_edges == 0:
+            return 0.0
+        u, v = self.edge_arrays()
+        emb = self.embedding
+        return float(self.oracle.matrix[emb[u], emb[v]].mean())
+
+    def total_neighbor_latency(self) -> float:
+        """``sum_slots sum_{i in N(slot)} d(slot, i)`` (each edge twice).
+
+        The monotone objective PROP descends: every accepted exchange
+        strictly reduces this quantity (Section 4.2 of the paper).
+        """
+        if self._n_edges == 0:
+            return 0.0
+        u, v = self.edge_arrays()
+        emb = self.embedding
+        return 2.0 * float(self.oracle.matrix[emb[u], emb[v]].sum())
+
+    # -- mutation primitives used by PROP ---------------------------------
+
+    def swap_embedding(self, a: int, b: int) -> None:
+        """PROP-G primitive: the hosts at slots ``a`` and ``b`` trade places."""
+        self._check_slot(a)
+        self._check_slot(b)
+        emb = self.embedding
+        emb[a], emb[b] = emb[b], emb[a]
+        self.embedding_version += 1
+
+    def rewire(self, old_a: int, old_b: int, new_a: int, new_b: int) -> None:
+        """Single cut-add: remove edge (old_a, old_b), insert (new_a, new_b)."""
+        self.remove_edge(old_a, old_b)
+        self.add_edge(new_a, new_b)
+
+    def host_at(self, slot: int) -> int:
+        """Member-host index occupying ``slot``."""
+        return int(self.embedding[slot])
+
+    def exchange_compatible(self, u: int, v: int, policy: str) -> bool:
+        """May slots ``u`` and ``v`` peer-exchange under ``policy``?
+
+        Overlays with per-slot structure constraints override this —
+        e.g. the two-tier Gnutella restricts PROP-O trades to same-role
+        pairs so leaf/ultrapeer invariants survive.  The engine treats an
+        incompatible probe as a failed attempt.
+        """
+        return True
+
+    def slot_of_host(self) -> np.ndarray:
+        """Inverse embedding: ``result[host] = slot`` (-1 if host unused)."""
+        inv = np.full(self.oracle.n, -1, dtype=np.intp)
+        inv[self.embedding] = np.arange(self.n_slots, dtype=np.intp)
+        return inv
+
+    # -- structural membership (join/leave extensions) -----------------------
+
+    def append_slot(self, host: int) -> int:
+        """Add a new, initially isolated slot occupied by ``host``.
+
+        Used by overlay-level join operations; the caller wires the new
+        slot's edges afterwards.  Returns the new slot index.
+        """
+        host = int(host)
+        if not 0 <= host < self.oracle.n:
+            raise ValueError(f"host {host} outside the oracle")
+        if np.any(self.embedding == host):
+            raise ValueError(f"host {host} already occupies a slot")
+        self.embedding = np.append(self.embedding, np.intp(host))
+        self._adj.append(set())
+        self.n_slots += 1
+        self.topology_version += 1
+        self.embedding_version += 1
+        return self.n_slots - 1
+
+    def pop_slot(self, slot: int) -> int:
+        """Remove ``slot`` entirely, returning the host that occupied it.
+
+        The slot must be isolated (callers cut or patch its edges first —
+        see :meth:`GnutellaOverlay.leave`).  The last slot is renumbered
+        into the vacated index, so callers holding slot references must
+        treat this as invalidating them (the same contract as
+        ``list.pop`` with swap-remove).
+        """
+        self._check_slot(slot)
+        if self._adj[slot]:
+            raise ValueError(f"slot {slot} still has {len(self._adj[slot])} edges")
+        host = int(self.embedding[slot])
+        last = self.n_slots - 1
+        if slot != last:
+            # move the last slot into the hole, rewriting its edges
+            for nbr in list(self._adj[last]):
+                self._adj[nbr].discard(last)
+                self._adj[nbr].add(slot)
+            self._adj[slot] = self._adj[last]
+            self.embedding[slot] = self.embedding[last]
+        self._adj.pop()
+        self.embedding = self.embedding[:last]
+        self.n_slots = last
+        self.topology_version += 1
+        self.embedding_version += 1
+        return host
+
+    # -- views / export ------------------------------------------------------
+
+    def to_networkx(self) -> nx.Graph:
+        """Logical graph as a :class:`networkx.Graph` (slots as nodes)."""
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n_slots))
+        g.add_edges_from(self.iter_edges())
+        return g
+
+    def is_connected(self) -> bool:
+        """BFS connectivity check on the logical graph."""
+        if self.n_slots == 0:
+            return True
+        seen = bytearray(self.n_slots)
+        stack = [0]
+        seen[0] = 1
+        count = 1
+        adj = self._adj
+        while stack:
+            x = stack.pop()
+            for y in adj[x]:
+                if not seen[y]:
+                    seen[y] = 1
+                    count += 1
+                    stack.append(y)
+        return count == self.n_slots
+
+    def copy(self) -> "Overlay":
+        """Deep copy sharing the oracle (cheap: only graph + embedding)."""
+        clone = Overlay(self.oracle, self.embedding.copy())
+        clone._adj = [set(s) for s in self._adj]
+        clone._n_edges = self._n_edges
+        return clone
+
+    # -- internals ----------------------------------------------------------
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.n_slots:
+            raise IndexError(f"slot {slot} out of range [0, {self.n_slots})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n_slots={self.n_slots}, n_edges={self._n_edges})"

@@ -1,0 +1,64 @@
+"""Recursive vs iterative DHT lookup latency.
+
+Deployed DHTs route in one of two styles (the distinction Dabek et al.,
+NSDI'04 — the paper's reference [6] — analyzes):
+
+* **recursive** — the query is forwarded hop by hop; total latency is
+  the sum of the inter-hop link latencies (plus processing at each
+  receiver).  This is the default everywhere in this library.
+* **iterative** — the *querier* contacts each routing step directly and
+  waits for the answer before the next step: every intermediate step
+  costs a round trip querier<->node, and the final step one way to the
+  owner.  Iterative lookups are easier to secure and debug but pay much
+  more latency on mismatched topologies — which makes location-aware
+  placement matter even more.
+
+Both functions take a slot path as produced by the overlays' ``route``
+methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.overlay.base import Overlay
+
+__all__ = ["recursive_path_latency", "iterative_path_latency"]
+
+
+def recursive_path_latency(
+    overlay: Overlay,
+    path: list[int],
+    node_delay: np.ndarray | None = None,
+) -> float:
+    """Hop-by-hop forwarding: sum of link latencies along the path."""
+    total = 0.0
+    for a, b in zip(path, path[1:]):
+        total += overlay.latency(a, b)
+    if node_delay is not None:
+        for s in path[1:]:
+            total += float(node_delay[s])
+    return total
+
+
+def iterative_path_latency(
+    overlay: Overlay,
+    path: list[int],
+    node_delay: np.ndarray | None = None,
+) -> float:
+    """Querier-driven stepping: RTT to every intermediate, one way to the end.
+
+    ``path[0]`` is the querier.  Each node contacted pays its processing
+    delay once (it must handle the request before answering).
+    """
+    if len(path) < 2:
+        return 0.0
+    src = path[0]
+    total = 0.0
+    for s in path[1:-1]:
+        total += 2.0 * overlay.latency(src, s)
+    total += overlay.latency(src, path[-1])
+    if node_delay is not None:
+        for s in path[1:]:
+            total += float(node_delay[s])
+    return total

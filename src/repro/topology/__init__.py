@@ -1,0 +1,46 @@
+"""Physical network substrate: GT-ITM-style transit-stub topologies.
+
+The paper generates its physical Internet model with the GT-ITM tool
+(Zegura et al., INFOCOM'96): a three-tier hierarchy of transit domains,
+transit nodes, and stub domains, with per-tier link latencies.  This
+package reimplements that construction (:mod:`~repro.topology.transit_stub`),
+the two presets the paper evaluates on (:mod:`~repro.topology.presets`:
+``ts-large`` and ``ts-small``), and a shortest-path latency oracle over
+the result (:mod:`~repro.topology.latency`).
+"""
+
+from repro.topology.cache import cache_key, cached_oracle
+from repro.topology.latency import LatencyOracle
+from repro.topology.waxman import WaxmanParams, generate_waxman
+from repro.topology.presets import (
+    TS_LARGE,
+    TS_SMALL,
+    build_preset,
+    preset_params,
+    ts_large,
+    ts_small,
+)
+from repro.topology.transit_stub import (
+    LinkLatencies,
+    PhysicalNetwork,
+    TransitStubParams,
+    generate_transit_stub,
+)
+
+__all__ = [
+    "LatencyOracle",
+    "WaxmanParams",
+    "cache_key",
+    "cached_oracle",
+    "generate_waxman",
+    "LinkLatencies",
+    "PhysicalNetwork",
+    "TransitStubParams",
+    "TS_LARGE",
+    "TS_SMALL",
+    "build_preset",
+    "generate_transit_stub",
+    "preset_params",
+    "ts_large",
+    "ts_small",
+]

@@ -1,0 +1,73 @@
+"""Lookup workload generators.
+
+The paper measures "average lookup latency derived from … lookup
+operations": streams of (source, destination) pairs for unstructured
+overlays, or (source, key) pairs for DHTs.  The Fig. 7 heterogeneity
+experiment additionally biases lookup *destinations* toward fast nodes
+("the destination of lookup operations will be concentrated on the
+powerful nodes"), swept by the fraction of fast-targeted lookups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uniform_pairs", "uniform_keys", "biased_target_pairs"]
+
+
+def uniform_pairs(n_slots: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """``k`` uniform (src, dst) slot pairs with ``src != dst``."""
+    if n_slots < 2:
+        raise ValueError("need at least two slots")
+    src = rng.integers(0, n_slots, size=k)
+    dst = rng.integers(0, n_slots - 1, size=k)
+    dst = np.where(dst >= src, dst + 1, dst)
+    return np.stack([src, dst], axis=1).astype(np.intp)
+
+
+def uniform_keys(n_slots: int, space: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """``k`` uniform (src_slot, key) DHT queries."""
+    if n_slots < 1:
+        raise ValueError("need at least one slot")
+    src = rng.integers(0, n_slots, size=k).astype(np.int64)
+    keys = rng.integers(0, space, size=k).astype(np.int64)
+    return np.stack([src, keys], axis=1)
+
+
+def biased_target_pairs(
+    fast_slots: np.ndarray,
+    slow_slots: np.ndarray,
+    fast_fraction: float,
+    k: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """(src, dst) pairs whose destinations hit fast nodes with probability
+    ``fast_fraction`` — the Fig. 7 sweep variable.
+
+    Sources are uniform over all slots; destinations are drawn from the
+    fast or slow population per a Bernoulli(``fast_fraction``) coin, and
+    resampled on the rare src == dst collision.
+    """
+    fast_slots = np.asarray(fast_slots, dtype=np.intp)
+    slow_slots = np.asarray(slow_slots, dtype=np.intp)
+    if not 0.0 <= fast_fraction <= 1.0:
+        raise ValueError(f"fast_fraction must be in [0, 1], got {fast_fraction}")
+    if fast_fraction > 0.0 and fast_slots.size == 0:
+        raise ValueError("fast_fraction > 0 but no fast slots")
+    if fast_fraction < 1.0 and slow_slots.size == 0:
+        raise ValueError("fast_fraction < 1 but no slow slots")
+    n_slots = fast_slots.size + slow_slots.size
+    src = rng.integers(0, n_slots, size=k).astype(np.intp)
+    pick_fast = rng.random(k) < fast_fraction
+    dst = np.empty(k, dtype=np.intp)
+    n_fast = int(pick_fast.sum())
+    if n_fast:
+        dst[pick_fast] = fast_slots[rng.integers(0, fast_slots.size, size=n_fast)]
+    if k - n_fast:
+        dst[~pick_fast] = slow_slots[rng.integers(0, slow_slots.size, size=k - n_fast)]
+    # resolve self-lookups by shifting the source
+    clash = src == dst
+    src[clash] = (src[clash] + 1) % n_slots
+    still = src == dst
+    src[still] = (src[still] + 1) % n_slots
+    return np.stack([src, dst], axis=1)

@@ -1,0 +1,80 @@
+"""Replicated-object workloads (extension).
+
+File-sharing realism for the flooding search: a catalog of objects whose
+popularity follows a Zipf law, with replica counts proportional to
+popularity (popular files are downloaded and therefore re-shared more),
+placed on uniformly random holders.  Queries draw objects by popularity,
+so most lookups chase well-replicated files — the regime where flooding
+shines — while the tail exercises the rare-object worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.zipf import zipf_ranks
+
+__all__ = ["ObjectCatalog", "build_catalog", "replica_queries"]
+
+
+@dataclass(frozen=True)
+class ObjectCatalog:
+    """A catalog of replicated objects.
+
+    ``holders[i]`` is the array of slots holding object ``i``; object
+    ranks are popularity order (0 = most popular).
+    """
+
+    holders: tuple[np.ndarray, ...]
+    exponent: float
+
+    @property
+    def n_objects(self) -> int:
+        return len(self.holders)
+
+    def replica_counts(self) -> np.ndarray:
+        return np.array([h.size for h in self.holders])
+
+
+def build_catalog(
+    n_slots: int,
+    n_objects: int,
+    rng: np.random.Generator,
+    *,
+    exponent: float = 1.0,
+    max_replicas: int | None = None,
+    min_replicas: int = 1,
+) -> ObjectCatalog:
+    """Catalog with popularity-proportional replication.
+
+    Object of rank ``r`` gets ``max(min_replicas, max_replicas/(r+1))``
+    replicas (``max_replicas`` defaults to ``n_slots // 10``), placed on
+    distinct random slots.
+    """
+    if n_objects < 1:
+        raise ValueError("need at least one object")
+    if min_replicas < 1 or min_replicas > n_slots:
+        raise ValueError(f"min_replicas must be in [1, {n_slots}]")
+    if max_replicas is None:
+        max_replicas = max(min_replicas, n_slots // 10)
+    if max_replicas > n_slots:
+        raise ValueError("max_replicas cannot exceed the slot count")
+    holders = []
+    for rank in range(n_objects):
+        count = max(min_replicas, int(round(max_replicas / (rank + 1))))
+        holders.append(np.sort(rng.choice(n_slots, size=count, replace=False)))
+    return ObjectCatalog(holders=tuple(holders), exponent=exponent)
+
+
+def replica_queries(
+    catalog: ObjectCatalog,
+    n_slots: int,
+    k: int,
+    rng: np.random.Generator,
+) -> list[tuple[int, np.ndarray]]:
+    """``k`` (querier, holder-set) pairs with Zipf-popular objects."""
+    ranks = zipf_ranks(catalog.n_objects, k, rng, exponent=catalog.exponent)
+    srcs = rng.integers(0, n_slots, size=k)
+    return [(int(s), catalog.holders[int(r)]) for s, r in zip(srcs, ranks)]

@@ -1,0 +1,61 @@
+"""Topologically-aware CAN: landmark join points and their effect."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.tacan import tacan_join_points
+from repro.netsim.rng import RngRegistry
+from repro.overlay.can import CANOverlay
+
+
+def test_points_shape_and_range(small_oracle, rngs):
+    pts = tacan_join_points(small_oracle, rngs.stream("tacan"), dims=2)
+    assert pts.shape == (small_oracle.n, 2)
+    assert np.all(pts >= 0.0) and np.all(pts < 1.0)
+
+
+def test_points_deterministic(small_oracle):
+    a = tacan_join_points(small_oracle, RngRegistry(3).stream("t"), dims=2)
+    b = tacan_join_points(small_oracle, RngRegistry(3).stream("t"), dims=2)
+    assert np.array_equal(a, b)
+
+
+def test_validation(small_oracle, rngs):
+    with pytest.raises(ValueError):
+        tacan_join_points(small_oracle, rngs.stream("t"), dims=0)
+    with pytest.raises(ValueError):
+        tacan_join_points(small_oracle, rngs.stream("t"), jitter=0.7)
+
+
+def test_can_accepts_join_points(small_oracle, rngs):
+    pts = tacan_join_points(small_oracle, rngs.stream("tacan"), dims=2)
+    can = CANOverlay.build(small_oracle, rngs.stream("can"), dims=2, join_points=pts)
+    assert can.total_zone_volume() == pytest.approx(1.0)
+    assert can.is_connected()
+
+
+def test_join_points_shape_validated(small_oracle, rngs):
+    with pytest.raises(ValueError):
+        CANOverlay.build(
+            small_oracle, rngs.stream("can"), dims=2,
+            join_points=np.zeros((3, 2)),
+        )
+
+
+def test_tacan_reduces_neighbor_latency(small_oracle):
+    """The whole point: zone neighbors become physically close."""
+    rngs = RngRegistry(9)
+    plain = CANOverlay.build(small_oracle, rngs.fresh("can"), dims=2)
+    pts = tacan_join_points(small_oracle, rngs.stream("lm"), dims=2)
+    aware = CANOverlay.build(small_oracle, rngs.fresh("can"), dims=2, join_points=pts)
+    assert aware.mean_logical_edge_latency() < plain.mean_logical_edge_latency()
+
+
+def test_tacan_routing_still_correct(small_oracle, rngs):
+    pts = tacan_join_points(small_oracle, rngs.stream("tacan"), dims=2)
+    can = CANOverlay.build(small_oracle, rngs.stream("can"), dims=2, join_points=pts)
+    rng = np.random.default_rng(0)
+    for _ in range(30):
+        src = int(rng.integers(0, can.n_slots))
+        p = rng.random(2)
+        assert can.route(src, p)[-1] == can.owner_of_point(p)

@@ -1,0 +1,61 @@
+"""Shared fixtures: a small physical world every suite can afford.
+
+The ``small_*`` fixtures are session-scoped because topology generation
+plus the Dijkstra oracle is the expensive part of setup; tests must not
+mutate them (mutating tests build their own overlays via the factories).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netsim.rng import RngRegistry
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.gnutella import GnutellaOverlay
+from repro.topology.latency import LatencyOracle
+from repro.topology.transit_stub import (
+    LinkLatencies,
+    TransitStubParams,
+    generate_transit_stub,
+)
+
+SMALL_PARAMS = TransitStubParams(
+    transit_domains=3,
+    transit_nodes_per_domain=3,
+    stub_domains_per_transit=2,
+    stub_nodes_per_domain=6,
+    latencies=LinkLatencies(stub_stub=5.0, stub_transit=20.0, transit_transit=100.0),
+)
+
+
+@pytest.fixture(scope="session")
+def small_net():
+    """~117-host transit-stub network (9 transit + 108 stub)."""
+    rng = RngRegistry(1234).stream("test-topology")
+    return generate_transit_stub(SMALL_PARAMS, rng)
+
+
+@pytest.fixture(scope="session")
+def small_oracle(small_net):
+    """Latency oracle over 64 random stub hosts of ``small_net``."""
+    rng = RngRegistry(1234).stream("test-membership")
+    hosts = rng.choice(small_net.stub_hosts, size=64, replace=False)
+    return LatencyOracle(small_net, hosts)
+
+
+@pytest.fixture()
+def rngs():
+    return RngRegistry(99)
+
+
+@pytest.fixture()
+def gnutella(small_oracle, rngs):
+    """Fresh mutable Gnutella overlay over the shared oracle."""
+    return GnutellaOverlay.build(small_oracle, rngs.stream("gnutella"), min_degree=3)
+
+
+@pytest.fixture()
+def chord(small_oracle, rngs):
+    """Fresh mutable Chord overlay over the shared oracle."""
+    return ChordOverlay.build(small_oracle, rngs.stream("chord"))

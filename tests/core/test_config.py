@@ -1,0 +1,45 @@
+"""PROPConfig validation and paper defaults."""
+
+import pytest
+
+from repro.core.config import PROPConfig
+
+
+def test_paper_defaults():
+    cfg = PROPConfig()
+    assert cfg.policy == "G"
+    assert cfg.nhops == 2
+    assert cfg.min_var == 0.0
+    assert cfg.init_timer == 60.0
+    assert cfg.max_timer == 32 * 60.0  # 2^5 * INIT_TIMER
+    assert cfg.max_init_trial == 10
+    assert cfg.m is None  # delta(G) by default
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(policy="X"),
+        dict(nhops=0),
+        dict(m=0),
+        dict(init_timer=0.0),
+        dict(max_timer_factor=0.5),
+        dict(max_init_trial=-1),
+    ],
+)
+def test_invalid_rejected(kwargs):
+    with pytest.raises(ValueError):
+        PROPConfig(**kwargs)
+
+
+def test_replace_overrides():
+    cfg = PROPConfig(policy="G").replace(policy="O", m=3)
+    assert cfg.policy == "O"
+    assert cfg.m == 3
+    assert cfg.nhops == 2  # untouched
+
+
+def test_frozen():
+    cfg = PROPConfig()
+    with pytest.raises(Exception):
+        cfg.nhops = 5

@@ -1,0 +1,84 @@
+"""Exchange executors: PROP-G swap and PROP-O cut-add semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.exchange import execute_prop_g, execute_prop_o
+from repro.core.varcalc import select_prop_o
+
+
+class TestPropG:
+    def test_swaps_hosts(self, gnutella):
+        h0, h10 = gnutella.host_at(0), gnutella.host_at(10)
+        execute_prop_g(gnutella, 0, 10)
+        assert gnutella.host_at(0) == h10
+        assert gnutella.host_at(10) == h0
+
+    def test_topology_unchanged(self, gnutella):
+        edges = set(gnutella.iter_edges())
+        execute_prop_g(gnutella, 0, 10)
+        assert set(gnutella.iter_edges()) == edges
+
+    def test_notification_count_is_degree_sum(self, gnutella):
+        expected = gnutella.degree(0) + gnutella.degree(10)
+        assert execute_prop_g(gnutella, 0, 10) == expected
+
+    def test_double_swap_is_identity(self, gnutella):
+        emb = gnutella.embedding.copy()
+        execute_prop_g(gnutella, 0, 10)
+        execute_prop_g(gnutella, 0, 10)
+        assert np.array_equal(gnutella.embedding, emb)
+
+
+def _find_trade(overlay, m=3):
+    """First (u, v, give_u, give_v) with a beneficial PROP-O trade."""
+    for u in range(overlay.n_slots):
+        for v in range(u + 1, overlay.n_slots):
+            give_u, give_v, var = select_prop_o(overlay, u, v, m=m)
+            if give_u:
+                return u, v, give_u, give_v
+    raise AssertionError("no beneficial trade anywhere — overlay already optimal?")
+
+
+class TestPropO:
+    def test_moves_selected_edges(self, gnutella):
+        u, v, give_u, give_v = _find_trade(gnutella)
+        execute_prop_o(gnutella, u, v, give_u, give_v)
+        for x in give_u:
+            assert not gnutella.has_edge(u, x)
+            assert gnutella.has_edge(v, x)
+        for y in give_v:
+            assert not gnutella.has_edge(v, y)
+            assert gnutella.has_edge(u, y)
+
+    def test_degrees_preserved(self, gnutella):
+        deg = gnutella.degree_sequence().copy()
+        u, v, give_u, give_v = _find_trade(gnutella)
+        execute_prop_o(gnutella, u, v, give_u, give_v)
+        assert np.array_equal(gnutella.degree_sequence(), deg)
+
+    def test_embedding_untouched(self, gnutella):
+        emb = gnutella.embedding.copy()
+        u, v, give_u, give_v = _find_trade(gnutella)
+        execute_prop_o(gnutella, u, v, give_u, give_v)
+        assert np.array_equal(gnutella.embedding, emb)
+
+    def test_notification_count_is_two_m(self, gnutella):
+        u, v, give_u, give_v = _find_trade(gnutella)
+        assert execute_prop_o(gnutella, u, v, give_u, give_v) == 2 * len(give_u)
+
+    def test_unequal_sizes_rejected(self, gnutella):
+        with pytest.raises(ValueError):
+            execute_prop_o(gnutella, 0, 10, [1], [])
+
+    def test_counterpart_trade_rejected(self, gnutella):
+        u = 0
+        v = next(iter(gnutella.neighbors(u)))
+        other = next(x for x in gnutella.neighbors(v) if x != u)
+        with pytest.raises(ValueError):
+            execute_prop_o(gnutella, u, v, [v], [other])
+
+    def test_empty_trade_is_noop(self, gnutella):
+        edges = set(gnutella.iter_edges())
+        assert execute_prop_o(gnutella, 0, 10, [], []) == 0
+        assert set(gnutella.iter_edges()) == edges

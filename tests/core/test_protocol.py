@@ -1,0 +1,237 @@
+"""PROP engine: phases, timers, optimization progress, churn handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PROPConfig
+from repro.core.protocol import PROPEngine
+from repro.netsim.engine import Simulator
+from repro.netsim.rng import RngRegistry
+from repro.overlay.gnutella import GnutellaOverlay
+
+
+def _engine(overlay, policy="G", sim=None, **cfg_kwargs):
+    sim = sim or Simulator()
+    cfg = PROPConfig(policy=policy, **cfg_kwargs)
+    eng = PROPEngine(overlay, cfg, sim, RngRegistry(11))
+    return eng, sim
+
+
+class TestLifecycle:
+    def test_start_schedules_all_nodes(self, gnutella):
+        eng, sim = _engine(gnutella)
+        eng.start()
+        assert len(sim.queue) == gnutella.n_slots
+
+    def test_double_start_rejected(self, gnutella):
+        eng, _ = _engine(gnutella)
+        eng.start()
+        with pytest.raises(RuntimeError):
+            eng.start()
+
+    def test_m_defaults_to_min_degree(self, gnutella):
+        eng, _ = _engine(gnutella, policy="O")
+        assert eng.m == gnutella.min_degree()
+
+    def test_m_explicit(self, gnutella):
+        eng, _ = _engine(gnutella, policy="O", m=2)
+        assert eng.m == 2
+
+
+class TestOptimization:
+    def test_prop_g_reduces_total_latency(self, gnutella):
+        before = gnutella.total_neighbor_latency()
+        eng, sim = _engine(gnutella, policy="G")
+        eng.start()
+        sim.run_until(1200.0)
+        assert eng.counters.exchanges > 0
+        assert gnutella.total_neighbor_latency() < before
+
+    def test_prop_o_reduces_total_latency(self, gnutella):
+        before = gnutella.total_neighbor_latency()
+        eng, sim = _engine(gnutella, policy="O")
+        eng.start()
+        sim.run_until(1200.0)
+        assert eng.counters.exchanges > 0
+        assert gnutella.total_neighbor_latency() < before
+
+    def test_prop_g_on_chord(self, chord):
+        before = chord.total_neighbor_latency()
+        eng, sim = _engine(chord, policy="G")
+        eng.start()
+        sim.run_until(1200.0)
+        assert eng.counters.exchanges > 0
+        assert chord.total_neighbor_latency() < before
+
+    def test_connectivity_maintained(self, gnutella):
+        eng, sim = _engine(gnutella, policy="O")
+        eng.start()
+        sim.run_until(1800.0)
+        assert gnutella.is_connected()
+
+    def test_prop_o_preserves_degree_sequence(self, gnutella):
+        deg = np.sort(gnutella.degree_sequence()).copy()
+        per_slot = gnutella.degree_sequence().copy()
+        eng, sim = _engine(gnutella, policy="O")
+        eng.start()
+        sim.run_until(1800.0)
+        assert np.array_equal(gnutella.degree_sequence(), per_slot)
+        assert np.array_equal(np.sort(gnutella.degree_sequence()), deg)
+
+    def test_random_probe_mode(self, gnutella):
+        before = gnutella.total_neighbor_latency()
+        eng, sim = _engine(gnutella, policy="G", random_probe=True)
+        eng.start()
+        sim.run_until(1200.0)
+        assert gnutella.total_neighbor_latency() < before
+
+    def test_accepted_exchanges_have_positive_var(self, gnutella):
+        eng, sim = _engine(gnutella, policy="G", min_var=0.0)
+        eng.start()
+        sim.run_until(600.0)
+        # every accepted exchange logged a Var above threshold; total
+        # latency sum decreased monotonically by construction
+        accepted = [v for v in eng.counters.var_history if v > 0.0]
+        assert len(accepted) >= eng.counters.exchanges > 0
+
+    def test_high_min_var_blocks_everything(self, gnutella):
+        eng, sim = _engine(gnutella, policy="G", min_var=1e12)
+        eng.start()
+        sim.run_until(1200.0)
+        assert eng.counters.exchanges == 0
+
+
+class TestMessageAccounting:
+    def test_probe_and_walk_counts(self, gnutella):
+        eng, sim = _engine(gnutella, policy="G", nhops=2)
+        eng.start()
+        sim.run_until(300.0)
+        c = eng.counters
+        assert c.probes > 0
+        # each walk is at most nhops messages, at least 1
+        assert c.probes <= c.walk_messages <= 2 * c.probes
+
+    def test_prop_o_collect_is_2m_per_probe(self, gnutella):
+        eng, sim = _engine(gnutella, policy="O", m=2)
+        eng.start()
+        sim.run_until(300.0)
+        c = eng.counters
+        assert c.collect_messages == 4 * c.probes
+
+    def test_notify_only_on_exchange(self, gnutella):
+        eng, sim = _engine(gnutella, policy="G", min_var=1e12)
+        eng.start()
+        sim.run_until(300.0)
+        assert eng.counters.notify_messages == 0
+
+    def test_messages_per_probe(self, gnutella):
+        eng, sim = _engine(gnutella, policy="O", m=1)
+        eng.start()
+        sim.run_until(300.0)
+        assert eng.counters.messages_per_probe() > 0
+
+
+class TestTimerDynamics:
+    def test_probe_rate_decays_after_convergence(self, gnutella):
+        """Markov timer: once no exchanges succeed, probing slows down."""
+        eng, sim = _engine(gnutella, policy="G", init_timer=60.0)
+        eng.start()
+        sim.run_until(1800.0)
+        early = eng.counters.probes
+        sim.run_until(3600.0)
+        mid = eng.counters.probes - early
+        sim.run_until(5400.0)
+        late = eng.counters.probes - early - mid
+        # warm-up window probes at full rate; converged windows are slower
+        n = gnutella.n_slots
+        full_rate_window = 1800.0 / 60.0 * n
+        assert early <= full_rate_window + n
+        assert late < early
+
+    def test_warmup_length_respected(self, gnutella):
+        eng, sim = _engine(gnutella, policy="G", max_init_trial=5, init_timer=60.0)
+        eng.start()
+        sim.run_until(8 * 60.0)
+        phases = [s.phase for s in eng.nodes]
+        assert all(p == 1 for p in phases)  # all in maintenance by now
+
+
+class TestChurn:
+    def test_reset_slot_restarts_warmup(self, gnutella):
+        eng, sim = _engine(gnutella, policy="G")
+        eng.start()
+        sim.run_until(1200.0)
+        eng.reset_slot(3)
+        st = eng.nodes[3]
+        assert st.phase == 0
+        assert st.trials == 0
+        assert st.timer.value == eng.config.init_timer
+
+    def test_reset_slot_notifies_neighbors(self, gnutella):
+        eng, sim = _engine(gnutella, policy="G")
+        eng.start()
+        sim.run_until(1200.0)
+        nbr = next(iter(gnutella.neighbors(3)))
+        eng.nodes[nbr].timer.on_failure()
+        assert eng.nodes[nbr].timer.value > eng.config.init_timer
+        eng.reset_slot(3)
+        assert eng.nodes[nbr].timer.value == eng.config.init_timer
+        # the churned slot sits at the front of the neighbor's queue
+        assert eng.nodes[nbr].queue.select() == 3
+
+    def test_notify_membership_change_syncs_queue(self, gnutella):
+        eng, _ = _engine(gnutella, policy="G")
+        state = eng.nodes[0]
+        # an edge change the engine did not make itself (e.g. churn rewire)
+        victim = next(iter(gnutella.neighbors(0)))
+        other = next(x for x in range(1, gnutella.n_slots) if not gnutella.has_edge(0, x))
+        gnutella.remove_edge(0, victim)
+        gnutella.add_edge(0, other)
+        eng.notify_membership_change(0, [other])
+        assert sorted(state.queue.snapshot()) == sorted(gnutella.neighbor_list(0))
+        assert state.queue.select() == other  # new neighbor probed first
+
+
+class TestApplicabilityMatrix:
+    """PROP-O must refuse structure-derived overlays (their edges encode
+    routing state); PROP-G runs anywhere — the paper's applicability
+    matrix, enforced at deployment time."""
+
+    def test_prop_o_rejected_on_chord(self, chord):
+        with pytest.raises(ValueError):
+            _engine(chord, policy="O")
+
+    def test_prop_g_accepted_on_chord(self, chord):
+        eng, _ = _engine(chord, policy="G")
+        assert eng.config.policy == "G"
+
+    def test_prop_o_accepted_on_gnutella(self, gnutella):
+        eng, _ = _engine(gnutella, policy="O")
+        assert eng.config.policy == "O"
+
+
+class TestExchangeLog:
+    def test_records_every_exchange(self, gnutella):
+        eng, sim = _engine(gnutella, policy="G")
+        eng.start()
+        sim.run_until(900.0)
+        log = eng.counters.exchange_log
+        assert len(log) == eng.counters.exchanges > 0
+        for rec in log:
+            assert rec.policy == "G"
+            assert rec.var > 0.0
+            assert 0.0 <= rec.time <= 900.0
+            assert rec.u != rec.v
+
+    def test_log_times_monotone(self, gnutella):
+        eng, sim = _engine(gnutella, policy="O")
+        eng.start()
+        sim.run_until(900.0)
+        times = [r.time for r in eng.counters.exchange_log]
+        assert times == sorted(times)
+
+    def test_prop_o_traded_bounded_by_m(self, gnutella):
+        eng, sim = _engine(gnutella, policy="O", m=2)
+        eng.start()
+        sim.run_until(900.0)
+        assert all(1 <= r.traded <= 2 for r in eng.counters.exchange_log)

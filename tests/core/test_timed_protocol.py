@@ -1,0 +1,90 @@
+"""Timed PROP engine: latency-delayed probes, stale-abort accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PROPConfig
+from repro.core.timed_protocol import TimedPROPEngine
+from repro.core.protocol import PROPEngine
+from repro.netsim.engine import Simulator
+from repro.netsim.rng import RngRegistry
+
+
+def _timed(overlay, policy="G", **cfg_kwargs):
+    sim = Simulator()
+    eng = TimedPROPEngine(overlay, PROPConfig(policy=policy, **cfg_kwargs), sim, RngRegistry(11))
+    return eng, sim
+
+
+class TestOptimization:
+    def test_prop_g_still_optimizes(self, gnutella):
+        before = gnutella.total_neighbor_latency()
+        eng, sim = _timed(gnutella, policy="G")
+        eng.start()
+        sim.run_until(1800.0)
+        assert eng.counters.exchanges > 0
+        assert gnutella.total_neighbor_latency() < before
+
+    def test_prop_o_still_optimizes(self, gnutella):
+        before = gnutella.total_neighbor_latency()
+        eng, sim = _timed(gnutella, policy="O")
+        eng.start()
+        sim.run_until(1800.0)
+        assert eng.counters.exchanges > 0
+        assert gnutella.total_neighbor_latency() < before
+        assert gnutella.is_connected()
+
+    def test_prop_o_rejected_on_structured(self, chord):
+        with pytest.raises(ValueError):
+            _timed(chord, policy="O")
+
+
+class TestTiming:
+    def test_exchange_times_not_on_timer_grid(self, gnutella):
+        """Network delay shifts completions off the 60 s schedule."""
+        eng, sim = _timed(gnutella, policy="G")
+        eng.start()
+        sim.run_until(1800.0)
+        times = np.array([r.time for r in eng.counters.exchange_log])
+        assert times.size > 0
+        off_grid = np.abs(times / 60.0 - np.round(times / 60.0)) > 1e-9
+        assert off_grid.any()
+
+    def test_commit_never_applies_negative_var(self, gnutella):
+        """Commit-time recheck: every executed exchange logged Var > 0
+        as of execution (the run stays monotone despite concurrency)."""
+        eng, sim = _timed(gnutella, policy="G")
+        eng.start()
+        total = gnutella.total_neighbor_latency()
+        for _ in range(200):
+            if not sim.queue:
+                break
+            sim.step()
+            new_total = gnutella.total_neighbor_latency()
+            assert new_total <= total + 1e-6
+            total = new_total
+
+    def test_stale_aborts_counted(self, gnutella):
+        eng, sim = _timed(gnutella, policy="G")
+        eng.start()
+        sim.run_until(3600.0)
+        assert eng.stale_aborts >= 0
+        # aborts never exceed probes
+        assert eng.stale_aborts <= eng.counters.probes
+
+    def test_converges_to_similar_quality_as_instantaneous(self, gnutella):
+        timed_overlay = gnutella
+        instant_overlay = gnutella.copy()
+
+        eng_t, sim_t = _timed(timed_overlay, policy="G")
+        eng_t.start()
+        sim_t.run_until(3600.0)
+
+        sim_i = Simulator()
+        eng_i = PROPEngine(instant_overlay, PROPConfig(policy="G"), sim_i, RngRegistry(11))
+        eng_i.start()
+        sim_i.run_until(3600.0)
+
+        t_final = timed_overlay.mean_logical_edge_latency()
+        i_final = instant_overlay.mean_logical_edge_latency()
+        assert t_final == pytest.approx(i_final, rel=0.25)

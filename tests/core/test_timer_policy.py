@@ -1,0 +1,50 @@
+"""Markov-chain timer: doubling, reset, wrap at the cap."""
+
+import pytest
+
+from repro.core.timer_policy import MarkovTimer
+
+
+def test_starts_at_init():
+    t = MarkovTimer(60.0, 1920.0)
+    assert t.value == 60.0
+
+
+def test_failure_doubles():
+    t = MarkovTimer(60.0, 1920.0)
+    assert t.on_failure() == 120.0
+    assert t.on_failure() == 240.0
+    assert t.on_failure() == 480.0
+
+
+def test_success_resets():
+    t = MarkovTimer(60.0, 1920.0)
+    t.on_failure()
+    t.on_failure()
+    assert t.on_success() == 60.0
+
+
+def test_wraps_at_cap():
+    """At most five doublings with the paper's 2^5 cap, then back to init."""
+    t = MarkovTimer(60.0, 32 * 60.0)
+    values = [t.on_failure() for _ in range(6)]
+    assert values == [120.0, 240.0, 480.0, 960.0, 60.0, 120.0]
+
+
+def test_exact_cap_wraps():
+    t = MarkovTimer(10.0, 40.0)
+    assert t.on_failure() == 20.0
+    assert t.on_failure() == 10.0  # 40 >= cap -> wrap
+
+
+def test_churn_resets():
+    t = MarkovTimer(60.0, 1920.0)
+    t.on_failure()
+    assert t.on_churn() == 60.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MarkovTimer(0.0, 10.0)
+    with pytest.raises(ValueError):
+        MarkovTimer(10.0, 5.0)

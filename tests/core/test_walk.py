@@ -1,0 +1,75 @@
+"""TTL random walk: path validity, no revisits, early stop."""
+
+import numpy as np
+import pytest
+
+from repro.core.walk import random_walk
+from repro.overlay.base import Overlay
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_one_hop_returns_first_hop(gnutella):
+    s = next(iter(gnutella.neighbors(0)))
+    target, path = random_walk(gnutella, 0, s, 1, _rng())
+    assert target == s
+    assert path == [0, s]
+
+
+def test_walk_path_follows_edges(gnutella):
+    s = next(iter(gnutella.neighbors(0)))
+    _, path = random_walk(gnutella, 0, s, 4, _rng())
+    for a, b in zip(path, path[1:]):
+        assert gnutella.has_edge(a, b)
+
+
+def test_walk_never_revisits(gnutella):
+    for seed in range(20):
+        s = next(iter(gnutella.neighbors(0)))
+        _, path = random_walk(gnutella, 0, s, 6, _rng(seed))
+        assert len(set(path)) == len(path)
+
+
+def test_walk_length_bounded_by_nhops(gnutella):
+    s = next(iter(gnutella.neighbors(0)))
+    _, path = random_walk(gnutella, 0, s, 3, _rng())
+    assert len(path) <= 4  # u + at most nhops nodes
+
+
+def test_target_is_last_path_node(gnutella):
+    s = next(iter(gnutella.neighbors(0)))
+    target, path = random_walk(gnutella, 0, s, 4, _rng())
+    assert path[-1] == target
+
+
+def test_invalid_first_hop_rejected(gnutella):
+    non_neighbor = next(
+        x for x in range(gnutella.n_slots) if x != 0 and not gnutella.has_edge(0, x)
+    )
+    with pytest.raises(ValueError):
+        random_walk(gnutella, 0, non_neighbor, 2, _rng())
+
+
+def test_invalid_nhops_rejected(gnutella):
+    s = next(iter(gnutella.neighbors(0)))
+    with pytest.raises(ValueError):
+        random_walk(gnutella, 0, s, 0, _rng())
+
+
+def test_dead_end_stops_early(small_oracle):
+    """On a path graph 0-1-2, a 5-hop walk from 0 must stop at 2."""
+    ov = Overlay(small_oracle, np.arange(3))
+    ov.add_edge(0, 1)
+    ov.add_edge(1, 2)
+    target, path = random_walk(ov, 0, 1, 5, _rng())
+    assert target == 2
+    assert path == [0, 1, 2]
+
+
+def test_walk_deterministic_in_rng(gnutella):
+    s = next(iter(gnutella.neighbors(0)))
+    a = random_walk(gnutella, 0, s, 4, _rng(42))
+    b = random_walk(gnutella, 0, s, 4, _rng(42))
+    assert a == b

@@ -1,0 +1,161 @@
+"""Experiment harness: config validation, world building, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ltm import LTMConfig
+from repro.baselines.pns import PNSChordOverlay
+from repro.core.config import PROPConfig
+from repro.harness.experiment import ExperimentConfig, build_world, run_experiment
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.gnutella import GnutellaOverlay
+
+# Tiny-but-real settings used across this suite; the small preset keeps a
+# single run under a second.
+FAST = dict(
+    preset="ts-small",
+    n_overlay=60,
+    duration=300.0,
+    sample_interval=150.0,
+    lookups_per_sample=60,
+)
+
+
+class TestConfigValidation:
+    def test_unknown_overlay_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(overlay_kind="napster")
+
+    def test_two_optimizers_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(prop=PROPConfig(), ltm=LTMConfig())
+
+    def test_churn_needs_spares(self):
+        from repro.workloads.churn import ChurnConfig
+
+        with pytest.raises(ValueError):
+            ExperimentConfig(churn=ChurnConfig(0.01), n_spare=0)
+
+    def test_fast_lookup_needs_heterogeneity(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(fast_lookup_fraction=0.5, heterogeneous=False)
+
+    def test_pns_requires_chord(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(overlay_kind="gnutella", pns=True)
+
+    def test_but_overrides(self):
+        cfg = ExperimentConfig(**FAST)
+        cfg2 = cfg.but(n_overlay=100)
+        assert cfg2.n_overlay == 100
+        assert cfg2.preset == cfg.preset
+
+
+class TestBuildWorld:
+    def test_gnutella_world(self):
+        w = build_world(ExperimentConfig(overlay_kind="gnutella", **FAST))
+        assert isinstance(w.overlay, GnutellaOverlay)
+        assert w.overlay.n_slots == 60
+        assert w.engine is None and w.ltm is None and w.churn is None
+
+    def test_chord_world_with_prop(self):
+        w = build_world(ExperimentConfig(overlay_kind="chord", prop=PROPConfig(), **FAST))
+        assert isinstance(w.overlay, ChordOverlay)
+        assert w.engine is not None
+
+    def test_pns_world(self):
+        w = build_world(ExperimentConfig(overlay_kind="chord", pns=True, **FAST))
+        assert isinstance(w.overlay, PNSChordOverlay)
+
+    def test_heterogeneous_world(self):
+        w = build_world(ExperimentConfig(heterogeneous=True, **FAST))
+        assert w.het is not None
+        assert w.het.delay_ms.shape == (60,)
+
+    def test_spares_reserved(self):
+        w = build_world(ExperimentConfig(n_spare=10, **FAST))
+        assert len(w.spare_hosts) == 10
+        assert set(w.spare_hosts).isdisjoint(set(w.overlay.embedding.tolist()))
+
+    def test_too_many_members_rejected(self):
+        cfg = ExperimentConfig(**{**FAST, "n_overlay": 10_000})
+        with pytest.raises(ValueError):
+            build_world(cfg)
+
+    def test_same_seed_same_world(self):
+        a = build_world(ExperimentConfig(**FAST))
+        b = build_world(ExperimentConfig(**FAST))
+        assert np.array_equal(a.overlay.embedding, b.overlay.embedding)
+        assert set(a.overlay.iter_edges()) == set(b.overlay.iter_edges())
+
+    def test_protocol_choice_does_not_change_world(self):
+        a = build_world(ExperimentConfig(**FAST))
+        b = build_world(ExperimentConfig(prop=PROPConfig(), **FAST))
+        assert np.array_equal(a.overlay.embedding, b.overlay.embedding)
+        assert set(a.overlay.iter_edges()) == set(b.overlay.iter_edges())
+
+
+class TestRunExperiment:
+    def test_sampling_grid(self):
+        r = run_experiment(ExperimentConfig(**FAST))
+        assert np.array_equal(r.times, [0.0, 150.0, 300.0])
+        assert r.stretch.shape == r.lookup_latency.shape == (3,)
+
+    def test_unoptimized_world_is_static(self):
+        r = run_experiment(ExperimentConfig(**FAST))
+        assert r.link_stretch[0] == pytest.approx(r.link_stretch[-1])
+        assert r.probes[-1] == 0
+
+    def test_prop_counters_accumulate(self):
+        r = run_experiment(ExperimentConfig(prop=PROPConfig(), **FAST))
+        assert np.all(np.diff(r.probes) >= 0)
+        assert r.probes[-1] > 0
+        assert r.final_counters is not None
+
+    def test_prop_g_improves_gnutella(self):
+        cfg = ExperimentConfig(prop=PROPConfig(policy="G"), **{**FAST, "duration": 900.0})
+        r = run_experiment(cfg)
+        assert r.final_lookup_latency < r.initial_lookup_latency
+        assert r.improvement_ratio() < 1.0
+
+    def test_ltm_counters(self):
+        r = run_experiment(ExperimentConfig(ltm=LTMConfig(), **FAST))
+        assert r.probes[-1] > 0  # rounds counted
+        assert r.final_counters is not None
+
+    def test_measure_lookups_false_skips(self):
+        r = run_experiment(ExperimentConfig(**FAST), measure_lookups=False)
+        assert np.all(np.isnan(r.lookup_latency))
+        assert np.all(np.isfinite(r.link_stretch))
+
+    def test_churn_world_runs(self):
+        from repro.workloads.churn import ChurnConfig
+
+        cfg = ExperimentConfig(
+            prop=PROPConfig(),
+            churn=ChurnConfig(rate_per_node=0.001),
+            n_spare=20,
+            **FAST,
+        )
+        r = run_experiment(cfg)
+        assert np.all(np.isfinite(r.stretch))
+
+    def test_probe_rate_series(self):
+        r = run_experiment(ExperimentConfig(prop=PROPConfig(), **FAST))
+        rates = r.probe_rate()
+        assert rates.shape == (2,)
+        assert np.all(rates >= 0)
+
+
+class TestApplicabilityValidation:
+    def test_prop_o_on_chord_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(overlay_kind="chord", prop=PROPConfig(policy="O"))
+
+    def test_ltm_on_can_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(overlay_kind="can", ltm=LTMConfig())
+
+    def test_prop_g_on_pastry_accepted(self):
+        cfg = ExperimentConfig(overlay_kind="pastry", prop=PROPConfig(policy="G"))
+        assert cfg.overlay_kind == "pastry"

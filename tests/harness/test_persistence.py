@@ -1,0 +1,72 @@
+"""Result persistence: JSON round-trip fidelity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import PROPConfig
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.persistence import load_result, result_to_dict, save_result
+
+FAST = dict(
+    preset="ts-small",
+    n_overlay=60,
+    duration=300.0,
+    sample_interval=150.0,
+    lookups_per_sample=40,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(ExperimentConfig(prop=PROPConfig(policy="G"), **FAST))
+
+
+def test_round_trip_series(result, tmp_path):
+    path = save_result(result, tmp_path / "r.json")
+    stored = load_result(path)
+    assert np.allclose(stored.times, result.times)
+    assert np.allclose(stored.stretch, result.stretch)
+    assert np.allclose(stored.lookup_latency, result.lookup_latency)
+    assert np.array_equal(stored.probes, result.probes)
+
+
+def test_round_trip_summary_api(result, tmp_path):
+    stored = load_result(save_result(result, tmp_path / "r.json"))
+    assert stored.final_stretch == pytest.approx(result.final_stretch)
+    assert stored.improvement_ratio() == pytest.approx(result.improvement_ratio())
+
+
+def test_counters_preserved(result, tmp_path):
+    stored = load_result(save_result(result, tmp_path / "r.json"))
+    assert stored.final_counters["probes"] == result.final_counters.probes
+    assert stored.final_counters["exchanges"] == result.final_counters.exchanges
+    assert "var_history" not in stored.final_counters
+
+
+def test_config_echoed(result, tmp_path):
+    stored = load_result(save_result(result, tmp_path / "r.json"))
+    assert stored.config["n_overlay"] == 60
+    assert stored.config["prop"]["policy"] == "G"
+    assert stored.config["prop"]["__dataclass__"] == "PROPConfig"
+
+
+def test_file_is_plain_json(result, tmp_path):
+    path = save_result(result, tmp_path / "r.json")
+    data = json.loads(path.read_text())
+    assert data["schema"] == "repro.experiment-result/1"
+
+
+def test_wrong_schema_rejected(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps({"schema": "other"}))
+    with pytest.raises(ValueError):
+        load_result(p)
+
+
+def test_unoptimized_result_round_trips(tmp_path):
+    r = run_experiment(ExperimentConfig(**FAST))
+    stored = load_result(save_result(r, tmp_path / "r.json"))
+    assert stored.final_counters is None
+    assert np.allclose(stored.link_stretch, r.link_stretch)

@@ -1,0 +1,67 @@
+"""Multi-seed replication: aggregation math and world independence."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PROPConfig
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.replicate import ReplicatedSeries, replicate
+
+FAST = ExperimentConfig(
+    preset="ts-small",
+    n_overlay=60,
+    prop=PROPConfig(policy="G"),
+    duration=600.0,
+    sample_interval=300.0,
+    lookups_per_sample=60,
+)
+
+
+def test_replicated_series_math():
+    stack = np.array([[1.0, 2.0], [3.0, 4.0]])
+    s = ReplicatedSeries.from_stack(stack)
+    assert np.allclose(s.mean, [2.0, 3.0])
+    assert np.allclose(s.std, np.std(stack, axis=0, ddof=1))
+    assert np.allclose(s.low, [1.0, 2.0])
+    assert np.allclose(s.high, [3.0, 4.0])
+
+
+def test_single_replica_zero_std():
+    s = ReplicatedSeries.from_stack(np.array([[5.0, 6.0]]))
+    assert np.allclose(s.std, 0.0)
+
+
+def test_replicate_runs_distinct_worlds():
+    summary = replicate(FAST, seeds=[1, 2, 3])
+    assert summary.n_replicas == 3
+    initials = [r.initial_lookup_latency for r in summary.results]
+    assert len(set(initials)) == 3  # different worlds, different latencies
+
+
+def test_replicate_improvement_stats():
+    summary = replicate(FAST, seeds=[1, 2, 3])
+    assert 0.0 < summary.mean_improvement() < 1.0
+    assert summary.std_improvement() >= 0.0
+    assert summary.all_replicas_improve()
+
+
+def test_envelope_brackets_mean():
+    summary = replicate(FAST, seeds=[1, 2])
+    assert np.all(summary.lookup_latency.low <= summary.lookup_latency.mean + 1e-9)
+    assert np.all(summary.lookup_latency.mean <= summary.lookup_latency.high + 1e-9)
+
+
+def test_duplicate_seeds_rejected():
+    with pytest.raises(ValueError):
+        replicate(FAST, seeds=[1, 1])
+
+
+def test_empty_seeds_rejected():
+    with pytest.raises(ValueError):
+        replicate(FAST, seeds=[])
+
+
+def test_seed_field_overridden_per_replica():
+    summary = replicate(FAST.but(seed=99), seeds=[4, 5])
+    assert summary.results[0].config.seed == 4
+    assert summary.results[1].config.seed == 5

@@ -1,0 +1,36 @@
+"""Plain-text reporting helpers."""
+
+import numpy as np
+
+from repro.harness.reporting import format_series, format_table
+
+
+def test_table_has_header_rule_and_rows():
+    out = format_table(["a", "b"], [[1, 2.5], [3, 4.25]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "b" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+    assert "2.500" in lines[2]
+    assert "4.250" in lines[3]
+
+
+def test_table_column_alignment():
+    out = format_table(["col"], [["x"], ["longer-value"]])
+    lines = out.splitlines()
+    widths = {len(l) for l in lines}
+    assert len(widths) == 1  # all lines equal width
+
+
+def test_table_handles_numpy_scalars():
+    out = format_table(["v"], [[np.float64(1.23456)]])
+    assert "1.235" in out
+
+
+def test_series_format():
+    times = np.array([0.0, 60.0])
+    out = format_series("demo", times, {"s1": np.array([1.0, 2.0]), "s2": np.array([3.0, 4.0])})
+    assert out.startswith("== demo ==")
+    lines = out.splitlines()
+    assert "s1" in lines[1] and "s2" in lines[1]
+    assert "60" in out and "2.000" in out and "4.000" in out

@@ -1,0 +1,35 @@
+"""Sweep runner: ordering, labels, progress callbacks."""
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.sweep import run_sweep
+
+FAST = dict(
+    preset="ts-small",
+    n_overlay=60,
+    duration=150.0,
+    sample_interval=150.0,
+    lookups_per_sample=30,
+)
+
+
+def test_sweep_preserves_order_and_labels():
+    configs = {
+        "n=60": ExperimentConfig(**FAST),
+        "n=80": ExperimentConfig(**{**FAST, "n_overlay": 80}),
+    }
+    results = run_sweep(configs)
+    assert list(results) == ["n=60", "n=80"]
+    assert results["n=80"].config.n_overlay == 80
+
+
+def test_progress_callback():
+    seen = []
+    run_sweep({"only": ExperimentConfig(**FAST)}, progress=seen.append)
+    assert seen == ["only"]
+
+
+def test_measure_lookups_forwarded():
+    import numpy as np
+
+    results = run_sweep({"x": ExperimentConfig(**FAST)}, measure_lookups=False)
+    assert np.all(np.isnan(results["x"].lookup_latency))

@@ -1,0 +1,58 @@
+"""End-to-end determinism: a seed fully determines a run."""
+
+import numpy as np
+
+from repro.baselines.ltm import LTMConfig
+from repro.core.config import PROPConfig
+from repro.harness.experiment import ExperimentConfig, run_experiment
+
+FAST = dict(
+    preset="ts-small",
+    n_overlay=80,
+    duration=900.0,
+    sample_interval=300.0,
+    lookups_per_sample=80,
+)
+
+
+def _series_equal(a, b):
+    assert np.array_equal(a.times, b.times)
+    assert np.allclose(a.lookup_latency, b.lookup_latency, equal_nan=True)
+    assert np.allclose(a.stretch, b.stretch, equal_nan=True)
+    assert np.allclose(a.link_stretch, b.link_stretch)
+    assert np.array_equal(a.probes, b.probes)
+    assert np.array_equal(a.exchanges, b.exchanges)
+
+
+def test_prop_g_run_replays_exactly():
+    cfg = ExperimentConfig(prop=PROPConfig(policy="G"), **FAST)
+    _series_equal(run_experiment(cfg), run_experiment(cfg))
+
+
+def test_prop_o_run_replays_exactly():
+    cfg = ExperimentConfig(prop=PROPConfig(policy="O", m=2), **FAST)
+    _series_equal(run_experiment(cfg), run_experiment(cfg))
+
+
+def test_ltm_run_replays_exactly():
+    cfg = ExperimentConfig(ltm=LTMConfig(), **FAST)
+    _series_equal(run_experiment(cfg), run_experiment(cfg))
+
+
+def test_churn_run_replays_exactly():
+    from repro.workloads.churn import ChurnConfig
+
+    cfg = ExperimentConfig(
+        prop=PROPConfig(policy="G"),
+        churn=ChurnConfig(rate_per_node=0.002),
+        n_spare=20,
+        **FAST,
+    )
+    _series_equal(run_experiment(cfg), run_experiment(cfg))
+
+
+def test_different_seeds_differ():
+    cfg = ExperimentConfig(prop=PROPConfig(policy="G"), **FAST)
+    a = run_experiment(cfg)
+    b = run_experiment(cfg.but(seed=1))
+    assert not np.allclose(a.lookup_latency, b.lookup_latency)

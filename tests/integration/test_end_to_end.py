@@ -1,0 +1,108 @@
+"""End-to-end runs across every overlay family and optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ltm import LTMConfig
+from repro.core.config import PROPConfig
+from repro.harness.experiment import ExperimentConfig, run_experiment
+
+FAST = dict(
+    preset="ts-small",
+    n_overlay=80,
+    duration=900.0,
+    sample_interval=300.0,
+    lookups_per_sample=100,
+)
+
+
+@pytest.mark.parametrize("kind", ["gnutella", "chord", "can", "pastry", "kademlia"])
+def test_prop_g_runs_on_every_overlay(kind):
+    """The protocol-independence claim: PROP-G deploys unchanged on
+    unstructured and structured overlays alike."""
+    cfg = ExperimentConfig(overlay_kind=kind, prop=PROPConfig(policy="G"), **FAST)
+    r = run_experiment(cfg)
+    assert r.final_counters.exchanges > 0
+    assert np.all(np.isfinite(r.lookup_latency))
+    # optimization never increases the link-stretch objective
+    assert r.link_stretch[-1] < r.link_stretch[0]
+
+
+def test_prop_o_improves_gnutella():
+    cfg = ExperimentConfig(prop=PROPConfig(policy="O"), **FAST)
+    r = run_experiment(cfg)
+    assert r.final_lookup_latency < r.initial_lookup_latency
+
+
+def test_ltm_improves_gnutella():
+    cfg = ExperimentConfig(ltm=LTMConfig(), **FAST)
+    r = run_experiment(cfg)
+    assert r.final_lookup_latency < r.initial_lookup_latency
+
+
+def test_chord_stretch_in_paper_range():
+    """Unoptimized Chord routing stretch sits in the few-x range the
+    paper's Fig. 6 axes show (~3-6 at these scales)."""
+    cfg = ExperimentConfig(overlay_kind="chord", **FAST)
+    r = run_experiment(cfg)
+    assert 1.5 < r.stretch[0] < 10.0
+
+
+def test_prop_g_chord_reduces_stretch():
+    cfg = ExperimentConfig(overlay_kind="chord", prop=PROPConfig(policy="G"), **FAST)
+    r = run_experiment(cfg)
+    assert r.final_stretch < r.initial_stretch
+
+
+def test_heterogeneous_world_runs_all_protocols():
+    base = ExperimentConfig(
+        heterogeneous=True,
+        fast_lookup_fraction=0.5,
+        flood_ttl=7,
+        **FAST,
+    )
+    for kw in (dict(prop=PROPConfig(policy="G")), dict(prop=PROPConfig(policy="O", m=2)), dict(ltm=LTMConfig())):
+        r = run_experiment(base.but(**kw))
+        assert np.all(np.isfinite(r.lookup_latency))
+
+
+def test_churn_recovery():
+    """After a churn burst, PROP re-optimizes: the final stretch beats the
+    immediately-post-burst stretch."""
+    from repro.workloads.churn import ChurnConfig
+
+    cfg = ExperimentConfig(
+        prop=PROPConfig(policy="G"),
+        churn=ChurnConfig(rate_per_node=0.02, start=900.0, stop=1200.0),
+        n_spare=40,
+        preset="ts-small",
+        n_overlay=80,
+        duration=3600.0,
+        sample_interval=300.0,
+        lookups_per_sample=100,
+    )
+    r = run_experiment(cfg)
+    burst_end = np.searchsorted(r.times, 1200.0)
+    post_burst = r.link_stretch[burst_end]
+    assert r.link_stretch[-1] < post_burst
+
+
+def test_pns_combination_improves_over_plain_pns():
+    """PROP-G layered on PNS ("combined with other recent approaches")
+    must not hurt, and typically helps."""
+    base = ExperimentConfig(
+        overlay_kind="chord",
+        pns=True,
+        pns_refresh_interval=300.0,
+        **FAST,
+    )
+    plain = run_experiment(base)
+    combined = run_experiment(base.but(prop=PROPConfig(policy="G")))
+    assert combined.final_lookup_latency <= plain.final_lookup_latency * 1.05
+
+
+def test_pis_embedding_beats_random_start():
+    base = ExperimentConfig(overlay_kind="chord", **FAST)
+    rand = run_experiment(base)
+    pis = run_experiment(base.but(pis_landmarks=8))
+    assert pis.stretch[0] < rand.stretch[0]

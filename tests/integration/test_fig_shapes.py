@@ -1,0 +1,140 @@
+"""Small-scale versions of the paper's figure shapes.
+
+Each test reruns a miniature of one evaluation figure and asserts the
+*qualitative* property the paper reports (who wins, which direction a
+curve moves).  The full-scale series live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PROPConfig
+from repro.harness.experiment import ExperimentConfig, run_experiment
+
+BASE = dict(
+    preset="ts-small",
+    n_overlay=100,
+    duration=1800.0,
+    sample_interval=600.0,
+    lookups_per_sample=150,
+)
+
+
+def _final_ratio(kind, prop):
+    cfg = ExperimentConfig(overlay_kind=kind, prop=prop, **BASE)
+    r = run_experiment(cfg)
+    return r.final_lookup_latency / r.initial_lookup_latency
+
+
+class TestFig5and6TTLPanel:
+    """Fig 5(a)/6(a): nhops=1 is ineffective; nhops>=2 ~ random probing."""
+
+    @pytest.mark.parametrize("kind", ["gnutella", "chord"])
+    def test_nhops1_underperforms_nhops2(self, kind):
+        r1 = _final_ratio(kind, PROPConfig(policy="G", nhops=1))
+        r2 = _final_ratio(kind, PROPConfig(policy="G", nhops=2))
+        assert r2 < r1
+
+    @pytest.mark.parametrize("kind", ["gnutella"])
+    def test_nhops2_close_to_random_probing(self, kind):
+        r2 = _final_ratio(kind, PROPConfig(policy="G", nhops=2))
+        rr = _final_ratio(kind, PROPConfig(policy="G", random_probe=True))
+        # "other three different ways have nearly the same impact"
+        assert abs(r2 - rr) < 0.25
+
+    def test_curves_not_monotone_locally(self):
+        """'stretch is not reduced all the time' — local bumps exist but
+        the trend is downward."""
+        cfg = ExperimentConfig(
+            overlay_kind="chord",
+            prop=PROPConfig(policy="G"),
+            **{**BASE, "sample_interval": 150.0},
+        )
+        r = run_experiment(cfg)
+        assert r.final_stretch < r.initial_stretch
+
+
+class TestFig5and6SizePanel:
+    """Fig 5(b)/6(b): still effective as n grows (mildly less so)."""
+
+    def test_improvement_at_both_sizes(self):
+        for n in (80, 200):
+            cfg = ExperimentConfig(
+                overlay_kind="gnutella",
+                prop=PROPConfig(policy="G"),
+                **{**BASE, "n_overlay": n},
+            )
+            r = run_experiment(cfg)
+            assert r.final_lookup_latency < r.initial_lookup_latency
+
+
+class TestFig5and6TopologyPanel:
+    """Fig 5(c)/6(c): ts-large benefits more than ts-small."""
+
+    def test_ts_large_improves_more(self):
+        """ts-large sees both the larger absolute latency drop and the
+        larger relative link-stretch reduction (exchanges across its big
+        backbone repair expensive mismatches; ts-small has little
+        cross-backbone traffic to repair)."""
+        results = {}
+        for preset in ("ts-large", "ts-small"):
+            cfg = ExperimentConfig(
+                overlay_kind="gnutella",
+                prop=PROPConfig(policy="G"),
+                **{**BASE, "preset": preset},
+            )
+            results[preset] = run_experiment(cfg)
+        drop = {
+            k: r.initial_lookup_latency - r.final_lookup_latency
+            for k, r in results.items()
+        }
+        stretch_ratio = {
+            k: r.link_stretch[-1] / r.link_stretch[0] for k, r in results.items()
+        }
+        assert drop["ts-large"] > drop["ts-small"]
+        assert stretch_ratio["ts-large"] < stretch_ratio["ts-small"]
+
+
+class TestFig7Heterogeneity:
+    """Fig 7: PROP-O preserves the capacity-degree correlation."""
+
+    def _run(self, frac, **kw):
+        cfg = ExperimentConfig(
+            overlay_kind="gnutella",
+            heterogeneous=True,
+            fast_lookup_fraction=frac,
+            flood_ttl=7,
+            fast_degree_weight=8.0,
+            overlay_options={"min_degree": 3, "mean_extra_degree": 3.0},
+            **{**BASE, "preset": "ts-large"},
+            **kw,
+        )
+        return run_experiment(cfg)
+
+    def test_prop_o_keeps_fast_degree_bias_prop_g_destroys_it(self):
+        from repro.harness.experiment import build_world
+
+        for policy, preserved in (("O", True), ("G", False)):
+            cfg = ExperimentConfig(
+                overlay_kind="gnutella",
+                heterogeneous=True,
+                fast_degree_weight=8.0,
+                prop=PROPConfig(policy=policy, m=3 if policy == "O" else None),
+                overlay_options={"min_degree": 3, "mean_extra_degree": 3.0},
+                **{**BASE, "preset": "ts-large"},
+            )
+            w = build_world(cfg)
+            w.sim.run_until(cfg.duration)
+            deg = w.overlay.degree_sequence()
+            fast = w.het.fast_slots(w.overlay.embedding)
+            slow = w.het.slow_slots(w.overlay.embedding)
+            gap = deg[fast].mean() - deg[slow].mean()
+            if preserved:
+                assert gap > 1.0  # hubs still fast
+            else:
+                assert gap < 1.0  # correlation washed out
+
+    def test_prop_o_beats_prop_g_under_fast_biased_lookups(self):
+        ro = self._run(1.0, prop=PROPConfig(policy="O", m=3))
+        rg = self._run(1.0, prop=PROPConfig(policy="G"))
+        assert ro.final_lookup_latency < rg.final_lookup_latency

@@ -1,0 +1,54 @@
+"""Convergence detection on metric series."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.convergence import convergence_epoch, first_stable_index
+
+
+def test_detects_flat_tail():
+    series = np.array([10.0, 8.0, 6.0, 5.0, 5.0, 5.0, 5.0])
+    assert first_stable_index(series, rel_tol=0.01, window=3) == 3
+
+
+def test_never_stable():
+    series = np.array([10.0, 5.0, 10.0, 5.0, 10.0, 5.0])
+    assert first_stable_index(series, window=2) is None
+
+
+def test_immediately_stable():
+    series = np.ones(6)
+    assert first_stable_index(series) == 0
+
+
+def test_tolerance_scales_relative():
+    series = np.array([1000.0, 1001.0, 1002.0, 1001.0, 1000.0])
+    assert first_stable_index(series, rel_tol=0.01, window=3) == 0
+    assert first_stable_index(series, rel_tol=1e-6, window=3) is None
+
+
+def test_window_validated():
+    with pytest.raises(ValueError):
+        first_stable_index(np.ones(5), window=0)
+
+
+def test_convergence_epoch_maps_to_time():
+    times = np.array([0.0, 60.0, 120.0, 180.0, 240.0, 300.0])
+    series = np.array([9.0, 7.0, 5.0, 5.0, 5.0, 5.0])
+    assert convergence_epoch(times, series, window=3) == 120.0
+
+
+def test_convergence_epoch_none():
+    times = np.arange(4, dtype=float)
+    series = np.array([1.0, 2.0, 1.0, 2.0])
+    assert convergence_epoch(times, series, window=2) is None
+
+
+def test_convergence_epoch_shape_mismatch():
+    with pytest.raises(ValueError):
+        convergence_epoch(np.arange(3, dtype=float), np.ones(4))
+
+
+def test_zero_reference_handled():
+    series = np.array([0.0, 0.0, 0.0, 0.0])
+    assert first_stable_index(series, window=2) == 0

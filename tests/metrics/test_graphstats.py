@@ -1,0 +1,91 @@
+"""Graph statistics: hop distances, clustering, degree summaries."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.graphstats import GraphStats, graph_stats, hop_distance_matrix
+from repro.overlay.base import Overlay
+
+
+@pytest.fixture()
+def triangle_plus_tail(small_oracle):
+    """Triangle 0-1-2 with a tail 2-3."""
+    ov = Overlay(small_oracle, np.arange(4))
+    for a, b in [(0, 1), (1, 2), (0, 2), (2, 3)]:
+        ov.add_edge(a, b)
+    return ov
+
+
+class TestHopDistances:
+    def test_known_graph(self, triangle_plus_tail):
+        hops = hop_distance_matrix(triangle_plus_tail)
+        assert hops[0, 0] == 0
+        assert hops[0, 1] == 1
+        assert hops[0, 3] == 2
+        assert hops[3, 1] == 2
+
+    def test_sources_subset(self, triangle_plus_tail):
+        hops = hop_distance_matrix(triangle_plus_tail, np.array([3]))
+        assert hops.shape == (1, 4)
+        assert hops[0, 0] == 2
+
+    def test_disconnected_inf(self, small_oracle):
+        ov = Overlay(small_oracle, np.arange(3))
+        ov.add_edge(0, 1)
+        hops = hop_distance_matrix(ov)
+        assert np.isinf(hops[0, 2])
+
+    def test_empty_graph(self, small_oracle):
+        ov = Overlay(small_oracle, np.arange(2))
+        hops = hop_distance_matrix(ov)
+        assert hops[0, 0] == 0 and np.isinf(hops[0, 1])
+
+
+class TestGraphStats:
+    def test_known_graph(self, triangle_plus_tail):
+        stats = graph_stats(triangle_plus_tail, hop_sample=None)
+        assert stats.n_nodes == 4 and stats.n_edges == 4
+        assert stats.min_degree == 1 and stats.max_degree == 3
+        assert stats.mean_degree == pytest.approx(2.0)
+        assert stats.hop_diameter == 2
+        # clustering: nodes 0,1 have both neighbors adjacent -> 1.0;
+        # node 2 has 1 of 3 pairs -> 1/3; node 3 -> 0
+        assert stats.mean_clustering == pytest.approx((1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4)
+
+    def test_on_gnutella(self, gnutella):
+        stats = graph_stats(gnutella)
+        assert stats.min_degree >= 3
+        assert stats.mean_hop_distance > 1.0
+        assert 0.0 <= stats.mean_clustering <= 1.0
+
+    def test_sampled_matches_exact_shape(self, gnutella):
+        exact = graph_stats(gnutella, hop_sample=None)
+        sampled = graph_stats(gnutella, hop_sample=20)
+        assert sampled.n_edges == exact.n_edges
+        assert abs(sampled.mean_hop_distance - exact.mean_hop_distance) < 0.5
+
+
+class TestFloodTraffic:
+    def test_star_graph(self, small_oracle):
+        from repro.overlay.gnutella import GnutellaOverlay
+
+        ov = GnutellaOverlay(small_oracle, np.arange(5))
+        for leaf in range(1, 5):
+            ov.add_edge(0, leaf)
+        # flood from the hub with ttl=1: 4 messages, no forwarding
+        assert ov.flood_traffic(0, 1) == 4
+        # ttl=2: leaves forward to deg-1 = 0 others
+        assert ov.flood_traffic(0, 2) == 4
+        # from a leaf: 1 (to hub) + hub forwards to 3 others
+        assert ov.flood_traffic(1, 2) == 1 + 3
+
+    def test_invariant_under_prop_g(self, gnutella):
+        from repro.core.exchange import execute_prop_g
+
+        before = gnutella.flood_traffic(0, 4)
+        execute_prop_g(gnutella, 1, 7)
+        assert gnutella.flood_traffic(0, 4) == before
+
+    def test_ttl_validated(self, gnutella):
+        with pytest.raises(ValueError):
+            gnutella.flood_traffic(0, 0)

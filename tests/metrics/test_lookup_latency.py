@@ -1,0 +1,47 @@
+"""Lookup-latency wrappers: heterogeneity projection through embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.lookup_latency import chord_mean_lookup_latency, gnutella_mean_lookup_latency
+from repro.workloads.heterogeneity import bimodal_processing_delay
+from repro.workloads.lookups import uniform_keys, uniform_pairs
+
+
+def test_gnutella_wrapper_matches_direct_call(gnutella):
+    pairs = uniform_pairs(gnutella.n_slots, 50, np.random.default_rng(0))
+    assert gnutella_mean_lookup_latency(gnutella, pairs) == pytest.approx(
+        gnutella.mean_lookup_latency(pairs)
+    )
+
+
+def test_gnutella_wrapper_projects_delays(gnutella):
+    het = bimodal_processing_delay(gnutella.oracle.n, np.random.default_rng(1), slow_ms=500.0)
+    pairs = uniform_pairs(gnutella.n_slots, 50, np.random.default_rng(0))
+    with_het = gnutella_mean_lookup_latency(gnutella, pairs, het=het)
+    without = gnutella_mean_lookup_latency(gnutella, pairs)
+    assert with_het >= without  # processing only adds delay
+
+
+def test_gnutella_delays_track_embedding_swaps(gnutella):
+    """After a swap the projected delays must follow the hosts."""
+    het = bimodal_processing_delay(gnutella.oracle.n, np.random.default_rng(1))
+    d0 = het.slot_delays(gnutella.embedding).copy()
+    gnutella.swap_embedding(0, 1)
+    d1 = het.slot_delays(gnutella.embedding)
+    assert d1[0] == d0[1] and d1[1] == d0[0]
+
+
+def test_chord_wrapper_matches_direct_call(chord):
+    queries = uniform_keys(chord.n_slots, chord.space, 30, np.random.default_rng(0))
+    assert chord_mean_lookup_latency(chord, queries) == pytest.approx(
+        chord.mean_lookup_latency(queries)
+    )
+
+
+def test_chord_wrapper_projects_delays(chord):
+    het = bimodal_processing_delay(chord.oracle.n, np.random.default_rng(1), slow_ms=500.0)
+    queries = uniform_keys(chord.n_slots, chord.space, 30, np.random.default_rng(0))
+    with_het = chord_mean_lookup_latency(chord, queries, het=het)
+    without = chord_mean_lookup_latency(chord, queries)
+    assert with_het > without

@@ -1,0 +1,60 @@
+"""Closed-form overhead model of §4.3 and its match to measured counters."""
+
+import pytest
+
+from repro.core.config import PROPConfig
+from repro.core.protocol import PROPEngine
+from repro.metrics.overhead import (
+    prop_g_step_messages,
+    prop_o_step_messages,
+    worst_case_probe_frequency,
+)
+from repro.netsim.engine import Simulator
+from repro.netsim.rng import RngRegistry
+
+
+def test_formulas():
+    assert prop_g_step_messages(2, 10.0) == 22.0
+    assert prop_o_step_messages(2, 3) == 8.0
+    assert worst_case_probe_frequency(60.0) == pytest.approx(1.0 / 60.0)
+
+
+def test_prop_o_cheaper_when_m_below_c():
+    assert prop_o_step_messages(2, 2) < prop_g_step_messages(2, 6.0)
+
+
+@pytest.mark.parametrize(
+    "fn,args",
+    [
+        (prop_g_step_messages, (0, 5.0)),
+        (prop_o_step_messages, (2, 0)),
+        (worst_case_probe_frequency, (0.0,)),
+    ],
+)
+def test_validation(fn, args):
+    with pytest.raises(ValueError):
+        fn(*args)
+
+
+def test_measured_step_cost_matches_model(gnutella):
+    """Engine counters approximate nhop + 2c (G) / nhop + 2m (O)."""
+    sim = Simulator()
+    eng = PROPEngine(gnutella, PROPConfig(policy="O", m=2, nhops=2), sim, RngRegistry(1))
+    eng.start()
+    sim.run_until(300.0)
+    c = eng.counters
+    per_step = (c.walk_messages + c.collect_messages) / c.probes
+    assert per_step <= prop_o_step_messages(2, 2)
+    assert per_step >= prop_o_step_messages(1, 2)  # walks may stop early
+
+
+def test_measured_prop_g_step_cost(gnutella):
+    sim = Simulator()
+    eng = PROPEngine(gnutella, PROPConfig(policy="G", nhops=2), sim, RngRegistry(1))
+    eng.start()
+    sim.run_until(300.0)
+    c = eng.counters
+    mean_degree = gnutella.degree_sequence().mean()
+    per_step = (c.walk_messages + c.collect_messages) / c.probes
+    model = prop_g_step_messages(2, mean_degree)
+    assert per_step == pytest.approx(model, rel=0.35)

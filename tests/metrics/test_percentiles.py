@@ -1,0 +1,60 @@
+"""Latency-distribution summaries."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.percentiles import summarize_latencies
+from repro.workloads.lookups import uniform_keys, uniform_pairs
+
+
+def test_basic_stats():
+    d = summarize_latencies(np.arange(1.0, 101.0))
+    assert d.count == 100
+    assert d.failures == 0
+    assert d.mean == pytest.approx(50.5)
+    assert d.p50 == pytest.approx(50.5)
+    assert d.p90 == pytest.approx(90.1)
+    assert d.max == 100.0
+
+
+def test_failures_excluded_from_percentiles():
+    vals = np.array([1.0, 2.0, 3.0, np.inf, np.inf])
+    d = summarize_latencies(vals)
+    assert d.failures == 2
+    assert d.failure_rate == pytest.approx(0.4)
+    assert d.max == 3.0
+
+
+def test_all_failed():
+    d = summarize_latencies(np.array([np.inf, np.inf]))
+    assert d.failures == 2
+    assert np.isnan(d.mean)
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize_latencies(np.array([]))
+
+
+def test_gnutella_distribution(gnutella):
+    pairs = uniform_pairs(gnutella.n_slots, 100, np.random.default_rng(0))
+    vals = gnutella.lookup_latencies(pairs)
+    d = summarize_latencies(vals)
+    assert d.failures == 0
+    assert d.p50 <= d.p90 <= d.p99 <= d.max
+    assert d.mean == pytest.approx(gnutella.mean_lookup_latency(pairs))
+
+
+def test_gnutella_distribution_with_ttl_failures(gnutella):
+    pairs = uniform_pairs(gnutella.n_slots, 200, np.random.default_rng(0))
+    vals = gnutella.lookup_latencies(pairs, ttl=1)
+    d = summarize_latencies(vals)
+    assert d.failures > 0  # TTL-1 floods cannot reach everyone
+
+
+def test_chord_distribution(chord):
+    queries = uniform_keys(chord.n_slots, chord.space, 60, np.random.default_rng(0))
+    vals = chord.lookup_latencies(queries)
+    d = summarize_latencies(vals)
+    assert d.count == 60 and d.failures == 0
+    assert d.mean == pytest.approx(chord.mean_lookup_latency(queries))

@@ -1,0 +1,52 @@
+"""Stretch metrics: link stretch, routing stretch, average latency."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stretch import average_latency, routing_stretch, stretch
+
+
+def test_link_stretch_definition(gnutella):
+    expected = gnutella.mean_logical_edge_latency() / gnutella.oracle.mean_physical_link()
+    assert stretch(gnutella) == pytest.approx(expected)
+
+
+def test_link_stretch_drops_after_beneficial_swap(gnutella):
+    from repro.core.varcalc import evaluate_prop_g
+
+    # find a positive-Var pair and swap it
+    for u in range(gnutella.n_slots):
+        done = False
+        for v in range(u + 1, gnutella.n_slots):
+            if evaluate_prop_g(gnutella, u, v) > 0:
+                before = stretch(gnutella)
+                gnutella.swap_embedding(u, v)
+                assert stretch(gnutella) < before
+                done = True
+                break
+        if done:
+            break
+    else:
+        raise AssertionError("no beneficial swap found")
+
+
+def test_average_latency_constant_under_swaps(gnutella):
+    before = average_latency(gnutella)
+    gnutella.swap_embedding(0, 5)
+    assert average_latency(gnutella) == pytest.approx(before)
+
+
+def test_routing_stretch():
+    routes = np.array([10.0, 20.0, 30.0])
+    direct = np.array([5.0, 10.0, 15.0])
+    assert routing_stretch(routes, direct) == pytest.approx(2.0)
+
+
+def test_routing_stretch_validates_shapes():
+    with pytest.raises(ValueError):
+        routing_stretch(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+def test_routing_stretch_rejects_zero_direct():
+    with pytest.raises(ValueError):
+        routing_stretch(np.array([1.0]), np.array([0.0]))

@@ -1,0 +1,95 @@
+"""EventQueue ordering, cancellation, and bookkeeping."""
+
+import pytest
+
+from repro.netsim.events import EventQueue
+
+
+def test_empty_queue():
+    q = EventQueue()
+    assert len(q) == 0
+    assert not q
+    assert q.peek_time() is None
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def test_orders_by_time():
+    q = EventQueue()
+    q.push(3.0, lambda: None)
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert [q.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+
+def test_ties_broken_by_insertion_order():
+    q = EventQueue()
+    out = []
+    q.push(1.0, out.append, "a")
+    q.push(1.0, out.append, "b")
+    q.push(1.0, out.append, "c")
+    while q:
+        ev = q.pop()
+        ev.callback(*ev.args)
+    assert out == ["a", "b", "c"]
+
+
+def test_negative_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push(-1.0, lambda: None)
+
+
+def test_len_counts_live_events():
+    q = EventQueue()
+    h1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+    h1.cancel()
+    assert len(q) == 1
+
+
+def test_cancelled_events_skipped():
+    q = EventQueue()
+    h1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    h1.cancel()
+    assert q.pop().time == 2.0
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    h = q.push(1.0, lambda: None)
+    assert h.cancel() is True
+    assert h.cancel() is False
+
+
+def test_handle_reports_pending():
+    q = EventQueue()
+    h = q.push(1.0, lambda: None)
+    assert h.pending
+    h.cancel()
+    assert not h.pending
+
+
+def test_peek_time_skips_cancelled_head():
+    q = EventQueue()
+    h = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    h.cancel()
+    assert q.peek_time() == 5.0
+
+
+def test_clear_resets():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.clear()
+    assert len(q) == 0
+    assert q.peek_time() is None
+
+
+def test_args_carried():
+    q = EventQueue()
+    q.push(1.0, lambda a, b: None, 1, 2)
+    ev = q.pop()
+    assert ev.args == (1, 2)

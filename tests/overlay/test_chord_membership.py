@@ -1,0 +1,109 @@
+"""Chord structural join/leave: key-range handover semantics."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.chord import ChordOverlay
+
+
+def _free_host(chord):
+    used = set(chord.embedding.tolist())
+    return next(h for h in range(chord.oracle.n) if h not in used)
+
+
+def _free_id(chord, rng):
+    taken = set(chord.ids.tolist())
+    while True:
+        cand = int(rng.integers(0, chord.space))
+        if cand not in taken:
+            return cand
+
+
+@pytest.fixture()
+def small_chord(small_oracle, rngs):
+    import numpy as np
+
+    return ChordOverlay.build(
+        small_oracle, rngs.stream("chord-small"), embedding=np.arange(40)
+    )
+
+
+class TestJoin:
+    def test_ring_grows_and_stays_valid(self, small_chord):
+        rng = np.random.default_rng(0)
+        nid = _free_id(small_chord, rng)
+        bigger = small_chord.with_join(_free_host(small_chord), nid)
+        assert bigger.n_slots == small_chord.n_slots + 1
+        assert np.all(np.diff(bigger.ids) > 0)
+        assert bigger.is_connected()
+
+    def test_newcomer_owns_its_range(self, small_chord):
+        rng = np.random.default_rng(1)
+        nid = _free_id(small_chord, rng)
+        host = _free_host(small_chord)
+        old_owner_host = small_chord.host_at(small_chord.owner_of_key(nid))
+        bigger = small_chord.with_join(host, nid)
+        new_slot = bigger.owner_of_key(nid)
+        assert bigger.host_at(new_slot) == host
+        # the old owner is now the newcomer's successor (keys just above
+        # nid still belong to it)
+        succ = bigger.successor_slot(new_slot)
+        assert bigger.host_at(succ) == old_owner_host
+
+    def test_other_hosts_keep_identifiers(self, small_chord):
+        rng = np.random.default_rng(2)
+        nid = _free_id(small_chord, rng)
+        bigger = small_chord.with_join(_free_host(small_chord), nid)
+        before = dict(zip(small_chord.embedding.tolist(), small_chord.ids.tolist()))
+        after = dict(zip(bigger.embedding.tolist(), bigger.ids.tolist()))
+        for h, i in before.items():
+            assert after[h] == i
+
+    def test_routing_correct_after_join(self, small_chord):
+        rng = np.random.default_rng(3)
+        bigger = small_chord.with_join(_free_host(small_chord), _free_id(small_chord, rng))
+        for _ in range(50):
+            src = int(rng.integers(0, bigger.n_slots))
+            key = int(rng.integers(0, bigger.space))
+            assert bigger.route(src, key)[-1] == bigger.owner_of_key(key)
+
+    def test_duplicate_host_rejected(self, small_chord):
+        with pytest.raises(ValueError):
+            small_chord.with_join(int(small_chord.embedding[0]), 12345)
+
+    def test_duplicate_id_rejected(self, small_chord):
+        with pytest.raises(ValueError):
+            small_chord.with_join(_free_host(small_chord), int(small_chord.ids[5]))
+
+
+class TestLeave:
+    def test_keys_pass_to_successor(self, small_chord):
+        leaver = 7
+        key = int(small_chord.ids[leaver])  # a key the leaver owned
+        succ_host = small_chord.host_at(small_chord.successor_slot(leaver))
+        smaller = small_chord.with_leave(leaver)
+        assert smaller.n_slots == small_chord.n_slots - 1
+        assert smaller.host_at(smaller.owner_of_key(key)) == succ_host
+
+    def test_routing_correct_after_leave(self, small_chord):
+        smaller = small_chord.with_leave(0)
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            src = int(rng.integers(0, smaller.n_slots))
+            key = int(rng.integers(0, smaller.space))
+            assert smaller.route(src, key)[-1] == smaller.owner_of_key(key)
+
+    def test_cannot_shrink_below_two(self, small_oracle, rngs):
+        tiny = ChordOverlay.build(
+            small_oracle, rngs.stream("tiny"), embedding=np.arange(2)
+        )
+        with pytest.raises(ValueError):
+            tiny.with_leave(0)
+
+    def test_join_then_leave_roundtrip(self, small_chord):
+        rng = np.random.default_rng(5)
+        nid = _free_id(small_chord, rng)
+        bigger = small_chord.with_join(_free_host(small_chord), nid)
+        back = bigger.with_leave(bigger.owner_of_key(nid))
+        assert np.array_equal(back.ids, small_chord.ids)
+        assert np.array_equal(back.embedding, small_chord.embedding)

@@ -1,0 +1,74 @@
+"""Identifier-space helpers."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.ids import (
+    common_prefix_len,
+    digits_of,
+    ring_between,
+    ring_distance_cw,
+    unique_ids,
+)
+
+
+class TestUniqueIds:
+    def test_distinct_and_in_range(self):
+        rng = np.random.default_rng(0)
+        ids = unique_ids(100, 10, rng)
+        assert len(np.unique(ids)) == 100
+        assert ids.min() >= 0 and ids.max() < 1024
+
+    def test_dense_regime_full_space(self):
+        rng = np.random.default_rng(0)
+        ids = unique_ids(8, 3, rng)
+        assert sorted(ids) == list(range(8))
+
+    def test_too_many_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            unique_ids(9, 3, rng)
+
+    def test_deterministic(self):
+        a = unique_ids(50, 16, np.random.default_rng(7))
+        b = unique_ids(50, 16, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestRingMath:
+    def test_cw_distance(self):
+        assert ring_distance_cw(1, 5, 3) == 4
+        assert ring_distance_cw(5, 1, 3) == 4  # wraps: 8 - 4
+        assert ring_distance_cw(3, 3, 3) == 0
+
+    def test_between_basic(self):
+        # interval (2, 6] on an 8-ring
+        assert ring_between(3, 2, 6, 3)
+        assert ring_between(6, 2, 6, 3)
+        assert not ring_between(2, 2, 6, 3)
+        assert not ring_between(7, 2, 6, 3)
+
+    def test_between_wrapping(self):
+        # interval (6, 2] wraps through 0
+        assert ring_between(7, 6, 2, 3)
+        assert ring_between(0, 6, 2, 3)
+        assert ring_between(2, 6, 2, 3)
+        assert not ring_between(5, 6, 2, 3)
+
+    def test_degenerate_interval_is_whole_ring(self):
+        assert ring_between(0, 4, 4, 3)
+        assert ring_between(4, 4, 4, 3)
+
+
+class TestDigits:
+    def test_digits_roundtrip(self):
+        d = digits_of(0xBEEF, 4, 4)
+        assert d == (0xB, 0xE, 0xE, 0xF)
+
+    def test_leading_zeros(self):
+        assert digits_of(1, 4, 4) == (0, 0, 0, 1)
+
+    def test_common_prefix(self):
+        assert common_prefix_len((1, 2, 3), (1, 2, 4)) == 2
+        assert common_prefix_len((1, 2), (1, 2)) == 2
+        assert common_prefix_len((5,), (6,)) == 0

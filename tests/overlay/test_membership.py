@@ -1,0 +1,130 @@
+"""Structural join/leave: slot bookkeeping and connectivity repair."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.base import Overlay
+from repro.overlay.gnutella import GnutellaOverlay
+
+
+class TestAppendPop:
+    def test_append_slot(self, small_oracle):
+        ov = Overlay(small_oracle, np.arange(5))
+        slot = ov.append_slot(10)
+        assert slot == 5
+        assert ov.n_slots == 6
+        assert ov.host_at(5) == 10
+        assert ov.degree(5) == 0
+
+    def test_append_used_host_rejected(self, small_oracle):
+        ov = Overlay(small_oracle, np.arange(5))
+        with pytest.raises(ValueError):
+            ov.append_slot(3)
+
+    def test_append_out_of_range_rejected(self, small_oracle):
+        ov = Overlay(small_oracle, np.arange(5))
+        with pytest.raises(ValueError):
+            ov.append_slot(small_oracle.n)
+
+    def test_pop_last_slot(self, small_oracle):
+        ov = Overlay(small_oracle, np.arange(5))
+        assert ov.pop_slot(4) == 4
+        assert ov.n_slots == 4
+
+    def test_pop_middle_slot_renumbers_last(self, small_oracle):
+        ov = Overlay(small_oracle, np.arange(5))
+        ov.add_edge(4, 0)  # last slot has an edge
+        ov.add_edge(4, 2)
+        host = ov.pop_slot(1)
+        assert host == 1
+        assert ov.n_slots == 4
+        # slot 1 is now the former slot 4 (host 4) with its edges intact
+        assert ov.host_at(1) == 4
+        assert ov.has_edge(1, 0) and ov.has_edge(1, 2)
+        assert not any(4 in ov.neighbor_list(s) for s in range(4))
+
+    def test_pop_with_edges_rejected(self, small_oracle):
+        ov = Overlay(small_oracle, np.arange(5))
+        ov.add_edge(1, 2)
+        with pytest.raises(ValueError):
+            ov.pop_slot(1)
+
+    def test_edge_count_consistent_after_churn(self, small_oracle):
+        ov = Overlay(small_oracle, np.arange(5))
+        ov.add_edge(0, 4)
+        ov.add_edge(1, 4)
+        for x in list(ov.neighbor_list(4)):
+            ov.remove_edge(4, x)
+        ov.pop_slot(4)
+        assert ov.n_edges == 0
+        assert list(ov.iter_edges()) == []
+
+
+@pytest.fixture()
+def gnutella_sub(small_oracle, rngs):
+    """Gnutella over 50 of the 64 oracle members: free hosts exist."""
+    import numpy as np
+    return GnutellaOverlay.build(
+        small_oracle, rngs.stream("gnutella-sub"),
+        min_degree=3, embedding=np.arange(50),
+    )
+
+
+class TestGnutellaJoinLeave:
+    def test_join_connects_new_peer(self, gnutella_sub):
+        gnutella = gnutella_sub
+        free_host = next(h for h in range(gnutella.oracle.n)
+                         if h not in set(gnutella.embedding.tolist()))
+        n0 = gnutella.n_slots
+        slot = gnutella.join(free_host, np.random.default_rng(0), degree=4)
+        assert slot == n0
+        assert gnutella.degree(slot) == 4
+        assert gnutella.is_connected()
+
+    def test_join_default_degree_is_min_degree(self, gnutella_sub):
+        gnutella = gnutella_sub
+        free_host = next(h for h in range(gnutella.oracle.n)
+                         if h not in set(gnutella.embedding.tolist()))
+        dmin = gnutella.min_degree()
+        slot = gnutella.join(free_host, np.random.default_rng(0))
+        assert gnutella.degree(slot) == dmin
+
+    def test_leave_preserves_connectivity(self, gnutella):
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            slot = int(rng.integers(0, gnutella.n_slots))
+            gnutella.leave(slot)
+            assert gnutella.is_connected()
+
+    def test_leave_returns_host(self, gnutella):
+        host = gnutella.host_at(3)
+        assert gnutella.leave(3) == host
+        assert host not in set(gnutella.embedding.tolist())
+
+    def test_join_leave_roundtrip_count(self, gnutella_sub):
+        gnutella = gnutella_sub
+        rng = np.random.default_rng(2)
+        n0 = gnutella.n_slots
+        used = set(gnutella.embedding.tolist())
+        free = [h for h in range(gnutella.oracle.n) if h not in used][:5]
+        for h in free:
+            gnutella.join(h, rng)
+        for _ in range(5):
+            gnutella.leave(int(rng.integers(0, gnutella.n_slots)))
+        assert gnutella.n_slots == n0
+        assert gnutella.is_connected()
+
+    def test_lookup_model_survives_membership_change(self, gnutella_sub):
+        """Edge-array caches must invalidate across join/leave."""
+        gnutella = gnutella_sub
+        rng = np.random.default_rng(3)
+        _ = gnutella.lookup_latency_matrix([0])  # warm the cache
+        free_host = next(h for h in range(gnutella.oracle.n)
+                         if h not in set(gnutella.embedding.tolist()))
+        slot = gnutella.join(free_host, rng, degree=3)
+        mat = gnutella.lookup_latency_matrix([0])
+        assert mat.shape == (1, gnutella.n_slots)
+        assert np.isfinite(mat[0, slot])
+        gnutella.leave(slot)
+        mat = gnutella.lookup_latency_matrix([0])
+        assert mat.shape == (1, gnutella.n_slots)

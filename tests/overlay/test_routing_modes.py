@@ -1,0 +1,77 @@
+"""Recursive vs iterative lookup latency models."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.routing_modes import iterative_path_latency, recursive_path_latency
+
+
+def test_recursive_matches_overlay_path_latency(chord):
+    path = chord.route(0, int(chord.ids[30]) + 1)
+    assert recursive_path_latency(chord, path) == pytest.approx(chord.path_latency(path))
+
+
+def test_recursive_with_processing(chord):
+    path = chord.route(0, int(chord.ids[30]) + 1)
+    nd = np.full(chord.n_slots, 4.0)
+    assert recursive_path_latency(chord, path, nd) == pytest.approx(
+        chord.path_latency(path) + 4.0 * (len(path) - 1)
+    )
+
+
+def test_iterative_single_hop_is_one_way(chord):
+    path = [0, 5]
+    assert iterative_path_latency(chord, path) == pytest.approx(chord.latency(0, 5))
+
+
+def test_iterative_counts_round_trips(chord):
+    path = [0, 5, 9]
+    expected = 2.0 * chord.latency(0, 5) + chord.latency(0, 9)
+    assert iterative_path_latency(chord, path) == pytest.approx(expected)
+
+
+def test_iterative_trivial_path(chord):
+    assert iterative_path_latency(chord, [7]) == 0.0
+
+
+def test_iterative_processing_charged_once_per_contact(chord):
+    path = [0, 5, 9]
+    nd = np.full(chord.n_slots, 10.0)
+    base = iterative_path_latency(chord, path)
+    assert iterative_path_latency(chord, path, nd) == pytest.approx(base + 20.0)
+
+
+def test_iterative_generally_slower_than_recursive(chord):
+    """On mismatched topologies round-tripping to the querier dominates."""
+    rng = np.random.default_rng(0)
+    iterative_total = recursive_total = 0.0
+    for _ in range(50):
+        src = int(rng.integers(0, chord.n_slots))
+        key = int(rng.integers(0, chord.space))
+        path = chord.route(src, key)
+        iterative_total += iterative_path_latency(chord, path)
+        recursive_total += recursive_path_latency(chord, path)
+    assert iterative_total > recursive_total
+
+
+def test_prop_g_helps_iterative_lookups_too(chord):
+    """Location-aware placement benefits the costlier routing mode as well."""
+    from repro.core.config import PROPConfig
+    from repro.core.protocol import PROPEngine
+    from repro.netsim.engine import Simulator
+    from repro.netsim.rng import RngRegistry
+
+    rng = np.random.default_rng(1)
+    queries = [(int(rng.integers(0, chord.n_slots)), int(rng.integers(0, chord.space)))
+               for _ in range(60)]
+
+    def mean_iterative():
+        return np.mean([
+            iterative_path_latency(chord, chord.route(s, k)) for s, k in queries
+        ])
+
+    before = mean_iterative()
+    sim = Simulator()
+    PROPEngine(chord, PROPConfig(policy="G"), sim, RngRegistry(5)).start()
+    sim.run_until(1800.0)
+    assert mean_iterative() < before

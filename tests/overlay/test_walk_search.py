@@ -1,0 +1,58 @@
+"""k-walker random-walk search."""
+
+import numpy as np
+import pytest
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_self_search_is_free(gnutella):
+    assert gnutella.walk_search_latency(3, 3, _rng()) == 0.0
+
+
+def test_finds_target_with_enough_walkers(gnutella):
+    lat = gnutella.walk_search_latency(0, 20, _rng(), walkers=32, max_steps=256)
+    assert np.isfinite(lat)
+
+
+def test_never_beats_min_latency_path(gnutella):
+    optimal = gnutella.lookup_latency(0, 20)
+    found = gnutella.walk_search_latency(0, 20, _rng(), walkers=32, max_steps=256)
+    assert found >= optimal - 1e-9
+
+
+def test_more_walkers_never_slower_in_expectation(gnutella):
+    few = np.mean([
+        gnutella.walk_search_latency(0, 30, _rng(s), walkers=2, max_steps=64)
+        for s in range(20) if np.isfinite(
+            gnutella.walk_search_latency(0, 30, _rng(s), walkers=2, max_steps=64))
+    ])
+    many = np.mean([
+        gnutella.walk_search_latency(0, 30, _rng(s), walkers=32, max_steps=64)
+        for s in range(20)
+    ])
+    assert many <= few
+
+
+def test_unreachable_within_budget_is_inf(gnutella):
+    lat = gnutella.walk_search_latency(0, 40, _rng(), walkers=1, max_steps=1)
+    # one single step almost surely misses a specific far target
+    if 40 not in gnutella.neighbors(0):
+        assert np.isinf(lat)
+
+
+def test_processing_delay_increases_latency(gnutella):
+    nd = np.full(gnutella.n_slots, 50.0)
+    base = gnutella.walk_search_latency(0, 20, _rng(1), walkers=16, max_steps=128)
+    slow = gnutella.walk_search_latency(0, 20, _rng(1), walkers=16, max_steps=128, node_delay=nd)
+    if np.isfinite(base) and np.isfinite(slow):
+        assert slow >= base
+
+
+def test_validation(gnutella):
+    with pytest.raises(ValueError):
+        gnutella.walk_search_latency(0, 1, _rng(), walkers=0)
+    with pytest.raises(ValueError):
+        gnutella.walk_search_latency(0, 1, _rng(), max_steps=0)

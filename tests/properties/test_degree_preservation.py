@@ -1,0 +1,84 @@
+"""PROP-O degree preservation, property-tested.
+
+"The primary reason that we exchange equal number of connections instead
+of an arbitrary number is to ensure the degree of each node remains the
+same after the exchange, so that the topology can maintain its essential
+features" — i.e. the Power-law-like character of unstructured systems
+survives.  The suite fuzzes exchange sequences and checks the per-slot
+degree vector bit-for-bit, plus the simple-graph invariants PROP-O must
+never violate (no self loops, no duplicate edges).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exchange import execute_prop_o
+from tests.properties.util import random_connected_overlay, random_prop_o_step
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), steps=st.integers(1, 30))
+def test_per_slot_degrees_invariant(seed, steps):
+    ov = random_connected_overlay(seed)
+    deg0 = ov.degree_sequence().copy()
+    rng = np.random.default_rng(seed ^ 0xAA55)
+    for _ in range(steps):
+        step = random_prop_o_step(ov, rng)
+        if step is None:
+            continue
+        u, v, give_u, give_v, _, _ = step
+        execute_prop_o(ov, u, v, give_u, give_v)
+        assert np.array_equal(ov.degree_sequence(), deg0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), steps=st.integers(1, 30))
+def test_simple_graph_invariants(seed, steps):
+    ov = random_connected_overlay(seed)
+    n_edges0 = ov.n_edges
+    rng = np.random.default_rng(seed ^ 0x55AA)
+    for _ in range(steps):
+        step = random_prop_o_step(ov, rng)
+        if step is None:
+            continue
+        u, v, give_u, give_v, _, _ = step
+        execute_prop_o(ov, u, v, give_u, give_v)
+    assert ov.n_edges == n_edges0
+    # adjacency symmetric, no self loops, matches edge count
+    seen = set()
+    for a in range(ov.n_slots):
+        for b in ov.neighbor_list(a):
+            assert a != b
+            assert ov.has_edge(b, a)
+            seen.add((min(a, b), max(a, b)))
+    assert len(seen) == n_edges0
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_walk_path_nodes_never_traded(seed):
+    """The Theorem 1 precondition: exchanged neighbors avoid the path."""
+    ov = random_connected_overlay(seed)
+    rng = np.random.default_rng(seed ^ 0x99)
+    step = random_prop_o_step(ov, rng)
+    if step is None:
+        return
+    u, v, give_u, give_v, _, path = step
+    assert not (set(give_u) & set(path))
+    assert not (set(give_v) & set(path))
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_embedding_never_touched_by_prop_o(seed):
+    ov = random_connected_overlay(seed)
+    emb0 = ov.embedding.copy()
+    rng = np.random.default_rng(seed ^ 0x42)
+    for _ in range(10):
+        step = random_prop_o_step(ov, rng)
+        if step is None:
+            continue
+        u, v, give_u, give_v, _, _ = step
+        execute_prop_o(ov, u, v, give_u, give_v)
+    assert np.array_equal(ov.embedding, emb0)

@@ -1,0 +1,109 @@
+"""Model-based property tests for the two queue data structures.
+
+Each test drives the real implementation and a brutally simple reference
+model with the same random operation sequence and asserts observational
+equivalence — the strongest cheap evidence that cancellation, priority
+arithmetic, and sync rules hold under arbitrary interleavings.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.neighbor_queue import NeighborQueue
+from repro.netsim.events import EventQueue
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_event_queue_matches_sorted_list_model(data):
+    q = EventQueue()
+    model: list[tuple[float, int]] = []  # (time, uid) sorted lazily
+    handles = {}
+    uid = 0
+    fired: list[int] = []
+
+    n_ops = data.draw(st.integers(1, 60))
+    for _ in range(n_ops):
+        op = data.draw(st.sampled_from(["push", "pop", "cancel", "peek"]))
+        if op == "push":
+            t = data.draw(st.floats(0.0, 100.0, allow_nan=False))
+            this = uid
+            uid += 1
+            handles[this] = q.push(t, fired.append, this)
+            model.append((t, this))
+            model.sort()
+        elif op == "pop":
+            if model:
+                ev = q.pop()
+                ev.callback(*ev.args)
+                expected = model.pop(0)
+                assert fired[-1] == expected[1]
+                assert ev.time == expected[0]
+            else:
+                assert len(q) == 0
+        elif op == "cancel" and model:
+            idx = data.draw(st.integers(0, len(model) - 1))
+            t, which = model.pop(idx)
+            assert handles[which].cancel() is True
+        elif op == "peek":
+            expected = model[0][0] if model else None
+            assert q.peek_time() == expected
+        assert len(q) == len(model)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_neighbor_queue_matches_priority_model(data):
+    members = data.draw(st.lists(st.integers(0, 30), min_size=1, max_size=10, unique=True))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+    q = NeighborQueue(members, rng)
+
+    # model: slot -> (priority, seq); mirror the documented semantics
+    model = {s: (0, i) for i, s in enumerate(q.snapshot())}
+    seq = len(model)
+
+    n_ops = data.draw(st.integers(1, 40))
+    for _ in range(n_ops):
+        op = data.draw(st.sampled_from(["select", "success", "failure", "new", "remove", "sync"]))
+        if op == "select":
+            if model:
+                assert q.select() == min(model, key=model.__getitem__)
+        elif op == "success" and model:
+            s = data.draw(st.sampled_from(sorted(model)))
+            q.on_success(s)
+            p, sq = model[s]
+            model[s] = (p - 1, sq)
+        elif op == "failure" and model:
+            s = data.draw(st.sampled_from(sorted(model)))
+            q.on_failure(s)
+            tail = max((p for p, _ in model.values()), default=0)
+            model[s] = (max(tail, 0) + 1, seq)
+            seq += 1
+        elif op == "new":
+            s = data.draw(st.integers(31, 60))
+            if s not in model:
+                q.on_new_neighbor(s)
+                model[s] = (-1_000_000, seq)
+                seq += 1
+        elif op == "remove" and model:
+            s = data.draw(st.sampled_from(sorted(model)))
+            q.remove(s)
+            del model[s]
+        elif op == "sync":
+            keep = data.draw(st.lists(st.sampled_from(sorted(model) if model else [0]),
+                                      unique=True)) if model else []
+            extra = data.draw(st.lists(st.integers(61, 90), max_size=3, unique=True))
+            target = set(keep) | set(extra)
+            if not target:
+                continue
+            q.sync(target)
+            for s in list(model):
+                if s not in target:
+                    del model[s]
+            for s in sorted(target):
+                if s not in model:
+                    model[s] = (-1_000_000, seq)
+                    seq += 1
+        assert len(q) == len(model)
+        assert set(q.snapshot()) == set(model)

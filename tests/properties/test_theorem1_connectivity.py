@@ -1,0 +1,86 @@
+"""Theorem 1 (connectivity persistence), property-tested.
+
+"Let G be an undirected connected graph, and let G' be the graph that is
+derived from G by applying an exchange operation in PROP-G or PROP-O.
+G' is an undirected connected graph."
+
+The suite fuzzes random connected overlays with random latency spaces
+and applies random legal exchange sequences (PROP-G position swaps;
+PROP-O walk-constrained trades), asserting connectivity after every
+step — i.e. the *inductive* form of the theorem, which is stronger than
+checking only the final graph.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exchange import execute_prop_g, execute_prop_o
+from tests.properties.util import random_connected_overlay, random_prop_o_step
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), steps=st.integers(1, 25))
+def test_prop_g_sequences_preserve_connectivity(seed, steps):
+    ov = random_connected_overlay(seed)
+    rng = np.random.default_rng(seed ^ 0xABCDEF)
+    assert ov.is_connected()
+    for _ in range(steps):
+        u, v = rng.integers(0, ov.n_slots, size=2)
+        if u == v:
+            continue
+        execute_prop_g(ov, int(u), int(v))
+        assert ov.is_connected()
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), steps=st.integers(1, 25))
+def test_prop_o_sequences_preserve_connectivity(seed, steps):
+    ov = random_connected_overlay(seed)
+    rng = np.random.default_rng(seed ^ 0x123456)
+    assert ov.is_connected()
+    for _ in range(steps):
+        step = random_prop_o_step(ov, rng)
+        if step is None:
+            continue
+        u, v, give_u, give_v, _, _ = step
+        execute_prop_o(ov, u, v, give_u, give_v)
+        assert ov.is_connected()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_single_cut_add_preserves_connectivity(seed):
+    """The induction base of the proof: one cut-add (one traded neighbor)."""
+    ov = random_connected_overlay(seed)
+    rng = np.random.default_rng(seed ^ 0x777)
+    step = random_prop_o_step(ov, rng, m_max=1)
+    if step is None:
+        return
+    u, v, give_u, give_v, _, _ = step
+    # apply the two cut-adds one at a time; connected after each
+    for x in give_u:
+        ov.rewire(u, x, v, x)
+        assert ov.is_connected()
+    for y in give_v:
+        ov.rewire(v, y, u, y)
+        assert ov.is_connected()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), steps=st.integers(1, 15))
+def test_mixed_policy_sequences_preserve_connectivity(seed, steps):
+    """Interleaving PROP-G and PROP-O (a deployment may host both)."""
+    ov = random_connected_overlay(seed)
+    rng = np.random.default_rng(seed ^ 0x31337)
+    for _ in range(steps):
+        if rng.random() < 0.5:
+            u, v = rng.integers(0, ov.n_slots, size=2)
+            if u != v:
+                execute_prop_g(ov, int(u), int(v))
+        else:
+            step = random_prop_o_step(ov, rng)
+            if step is not None:
+                u, v, give_u, give_v, _, _ = step
+                execute_prop_o(ov, u, v, give_u, give_v)
+        assert ov.is_connected()

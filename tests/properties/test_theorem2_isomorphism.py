@@ -1,0 +1,107 @@
+"""Theorem 2 (isomorphic characteristic), property-tested.
+
+"Let graph G(V, E) denote the network overlay, and let G'(V, E') be the
+graph that is derived from G by applying an arbitrary sequence of PROP-G
+exchange operations.  G' is isomorphic to graph G."
+
+In the slot/embedding model PROP-G acts only on the embedding, so the
+*slot graph* is literally unchanged; the theorem's content is about the
+*host graph* (nodes = physical hosts, edges = who-is-connected-to-whom).
+The suite checks both: the host graph after arbitrary swap sequences is
+isomorphic to the original (via the explicit embedding permutation as
+the witness bijection, and independently via networkx VF2), and the
+degree *multiset* of hosts is preserved while per-host degrees move.
+"""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exchange import execute_prop_g
+from tests.properties.util import random_connected_overlay
+
+
+def host_graph(ov) -> nx.Graph:
+    """Logical edges expressed between *hosts* (the paper's G(V, E))."""
+    g = nx.Graph()
+    emb = ov.embedding
+    g.add_nodes_from(int(h) for h in emb)
+    for a, b in ov.iter_edges():
+        g.add_edge(int(emb[a]), int(emb[b]))
+    return g
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), steps=st.integers(1, 30))
+def test_host_graph_isomorphic_after_swaps(seed, steps):
+    ov = random_connected_overlay(seed)
+    g0 = host_graph(ov)
+    emb0 = ov.embedding.copy()
+    rng = np.random.default_rng(seed ^ 0xFACE)
+    for _ in range(steps):
+        u, v = rng.integers(0, ov.n_slots, size=2)
+        if u != v:
+            execute_prop_g(ov, int(u), int(v))
+    g1 = host_graph(ov)
+
+    # Explicit witness: phi(host at slot s, before) = host at slot s, after.
+    phi = {int(emb0[s]): int(ov.embedding[s]) for s in range(ov.n_slots)}
+    assert sorted(phi) == sorted(phi.values())  # bijection on hosts
+    mapped = {(min(phi[a], phi[b]), max(phi[a], phi[b])) for a, b in g0.edges()}
+    actual = {(min(a, b), max(a, b)) for a, b in g1.edges()}
+    assert mapped == actual
+
+    # Independent check through VF2.
+    assert nx.is_isomorphic(g0, g1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), steps=st.integers(1, 30))
+def test_slot_topology_bitwise_unchanged(seed, steps):
+    """Stronger than isomorphism: the slot graph is *identical*."""
+    ov = random_connected_overlay(seed)
+    edges0 = set(ov.iter_edges())
+    rng = np.random.default_rng(seed ^ 0xBEEF)
+    for _ in range(steps):
+        u, v = rng.integers(0, ov.n_slots, size=2)
+        if u != v:
+            execute_prop_g(ov, int(u), int(v))
+    assert set(ov.iter_edges()) == edges0
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_degree_multiset_preserved_and_swapped_hosts_trade_degrees(seed):
+    ov = random_connected_overlay(seed)
+    emb0 = ov.embedding.copy()
+    u, v = 0, ov.n_slots - 1
+    hu, hv = int(emb0[u]), int(emb0[v])
+    host_deg_before = {int(emb0[s]): ov.degree(s) for s in range(ov.n_slots)}
+    execute_prop_g(ov, u, v)
+    host_deg_after = {
+        int(ov.embedding[s]): ov.degree(s) for s in range(ov.n_slots)
+    }
+    assert sorted(host_deg_before.values()) == sorted(host_deg_after.values())
+    # PROP-G moves degree with position: the swapped hosts trade degrees
+    assert host_deg_after[hu] == host_deg_before[hv]
+    assert host_deg_after[hv] == host_deg_before[hu]
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), steps=st.integers(1, 20))
+def test_swap_sequence_invertible(seed, steps):
+    """Replaying a swap sequence in reverse restores the embedding —
+    peer-exchange is its own inverse (each swap is a transposition)."""
+    ov = random_connected_overlay(seed)
+    emb0 = ov.embedding.copy()
+    rng = np.random.default_rng(seed ^ 0xC0FFEE)
+    seq = []
+    for _ in range(steps):
+        u, v = rng.integers(0, ov.n_slots, size=2)
+        if u != v:
+            execute_prop_g(ov, int(u), int(v))
+            seq.append((int(u), int(v)))
+    for u, v in reversed(seq):
+        execute_prop_g(ov, u, v)
+    assert np.array_equal(ov.embedding, emb0)

@@ -1,0 +1,85 @@
+"""Section 4.2 accounting identities, property-tested.
+
+The analysis shows ``Var > 0  =>  L_t0 > L_t1``: an accepted exchange
+strictly reduces the accumulated latency.  In our model the accumulated
+latency is ``total_neighbor_latency`` (every logical edge counted from
+both endpoints), and an exchange between u and v changes exactly the
+terms the Var equation covers — so the drop equals **2 · Var** for both
+policies.  The suite fuzzes exchanges and checks the identity to float
+precision, plus the derived monotone-descent property of full protocol
+runs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exchange import execute_prop_g, execute_prop_o
+from repro.core.varcalc import evaluate_prop_g
+from tests.properties.util import random_connected_overlay, random_prop_o_step
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_prop_g_drop_equals_twice_var(seed):
+    ov = random_connected_overlay(seed)
+    rng = np.random.default_rng(seed ^ 0x1111)
+    u, v = rng.integers(0, ov.n_slots, size=2)
+    if u == v:
+        return
+    var = evaluate_prop_g(ov, int(u), int(v))
+    before = ov.total_neighbor_latency()
+    execute_prop_g(ov, int(u), int(v))
+    after = ov.total_neighbor_latency()
+    assert before - after == pytest.approx(2.0 * var, rel=1e-9, abs=1e-6)
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_prop_o_drop_equals_twice_var(seed):
+    ov = random_connected_overlay(seed)
+    rng = np.random.default_rng(seed ^ 0x2222)
+    step = random_prop_o_step(ov, rng)
+    if step is None:
+        return
+    u, v, give_u, give_v, var, _ = step
+    before = ov.total_neighbor_latency()
+    execute_prop_o(ov, u, v, give_u, give_v)
+    after = ov.total_neighbor_latency()
+    assert before - after == pytest.approx(2.0 * var, rel=1e-9, abs=1e-6)
+    assert var > 0.0  # selection only returns beneficial trades
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), steps=st.integers(1, 20))
+def test_accepted_sequences_descend_monotonically(seed, steps):
+    """Accepting only Var > 0 exchanges yields a monotone objective."""
+    ov = random_connected_overlay(seed)
+    rng = np.random.default_rng(seed ^ 0x3333)
+    total = ov.total_neighbor_latency()
+    for _ in range(steps):
+        u, v = rng.integers(0, ov.n_slots, size=2)
+        if u == v:
+            continue
+        var = evaluate_prop_g(ov, int(u), int(v))
+        if var > 0:
+            execute_prop_g(ov, int(u), int(v))
+            new_total = ov.total_neighbor_latency()
+            # strictly decreasing up to float representation: a Var of
+            # ~1e-14 can vanish in the rounding of a ~1e2 total
+            assert new_total <= total + 1e-9
+            if var > 1e-6:
+                assert new_total < total
+            total = new_total
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_var_zero_for_symmetric_positions(seed):
+    """Swapping a pair twice measures exactly opposite Vars."""
+    ov = random_connected_overlay(seed)
+    var1 = evaluate_prop_g(ov, 0, ov.n_slots - 1)
+    execute_prop_g(ov, 0, ov.n_slots - 1)
+    var2 = evaluate_prop_g(ov, 0, ov.n_slots - 1)
+    assert var1 == pytest.approx(-var2, rel=1e-9, abs=1e-9)

@@ -1,0 +1,76 @@
+"""Shared machinery for the property-based (hypothesis) suites.
+
+The theorems quantify over *arbitrary* connected overlays and latency
+spaces, so these helpers build both from a raw integer seed: a random
+symmetric latency matrix (no metric assumptions — the theorems hold
+without the triangle inequality) and a random connected graph (spanning
+tree plus extra edges).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.overlay.base import Overlay
+
+__all__ = ["FakeOracle", "random_connected_overlay", "random_prop_o_step"]
+
+
+class FakeOracle:
+    """Minimal LatencyOracle stand-in: a symmetric positive matrix."""
+
+    def __init__(self, n: int, rng: np.random.Generator) -> None:
+        raw = rng.random((n, n)) * 100.0 + 1.0
+        self.matrix = np.triu(raw, 1)
+        self.matrix = self.matrix + self.matrix.T
+        self.n = n
+
+    def mean_physical_link(self) -> float:
+        return float(self.matrix[np.triu_indices(self.n, 1)].mean())
+
+    def between(self, i: int, j: int) -> float:
+        return float(self.matrix[i, j])
+
+
+def random_connected_overlay(seed: int, n_min: int = 4, n_max: int = 20) -> Overlay:
+    """Random connected overlay with a random latency space."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(n_min, n_max + 1))
+    oracle = FakeOracle(n, rng)
+    ov = Overlay(oracle, rng.permutation(n))
+    order = rng.permutation(n)
+    for i in range(1, n):
+        a = int(order[i])
+        b = int(order[rng.integers(0, i)])
+        ov.add_edge(a, b)
+    extra = int(rng.integers(0, 2 * n))
+    for _ in range(extra):
+        a, b = rng.integers(0, n, size=2)
+        if a != b and not ov.has_edge(int(a), int(b)):
+            ov.add_edge(int(a), int(b))
+    return ov
+
+
+def random_prop_o_step(ov: Overlay, rng: np.random.Generator, m_max: int = 4):
+    """One legal PROP-O probe: walk, select, and (maybe) a trade.
+
+    Returns ``(u, v, give_u, give_v, var, path)`` or ``None`` when the
+    drawn walk yields no legal trade.
+    """
+    from repro.core.varcalc import select_prop_o
+    from repro.core.walk import random_walk
+
+    u = int(rng.integers(0, ov.n_slots))
+    nbrs = ov.neighbor_list(u)
+    if not nbrs:
+        return None
+    first = nbrs[int(rng.integers(0, len(nbrs)))]
+    nhops = int(rng.integers(1, 4))
+    v, path = random_walk(ov, u, first, nhops, rng)
+    if v == u:
+        return None
+    m = int(rng.integers(1, m_max + 1))
+    give_u, give_v, var = select_prop_o(ov, u, v, m, forbidden=set(path))
+    if not give_u:
+        return None
+    return u, v, give_u, give_v, var, path

@@ -1,0 +1,77 @@
+"""Exchange-log analytics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.exchanges import exchange_rate, exchange_stats, gain_captured_by
+from repro.core.protocol import ExchangeRecord
+
+
+def _rec(t, u=0, v=1, var=10.0):
+    return ExchangeRecord(time=t, u=u, v=v, var=var, policy="G", traded=3)
+
+
+class TestStats:
+    def test_basic(self):
+        log = [_rec(10.0, var=5.0), _rec(20.0, u=2, v=3, var=15.0), _rec(30.0, var=10.0)]
+        s = exchange_stats(log)
+        assert s.count == 3
+        assert s.total_var == pytest.approx(30.0)
+        assert s.mean_var == pytest.approx(10.0)
+        assert s.first_time == 10.0 and s.last_time == 30.0
+        # slots 0 and 1 each appear twice
+        assert s.most_active_count == 2
+        assert s.most_active_slot in (0, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            exchange_stats([])
+
+
+class TestRate:
+    def test_binning(self):
+        log = [_rec(5.0), _rec(15.0), _rec(16.0), _rec(25.0)]
+        edges, rates = exchange_rate(log, bin_seconds=10.0)
+        assert np.allclose(edges, [10.0, 20.0, 30.0])
+        assert np.allclose(rates, [0.1, 0.2, 0.1])
+
+    def test_until_extends(self):
+        log = [_rec(5.0)]
+        edges, rates = exchange_rate(log, bin_seconds=10.0, until=50.0)
+        assert edges[-1] == 50.0
+        assert np.allclose(rates[1:], 0.0)
+
+    def test_invalid_bin_rejected(self):
+        with pytest.raises(ValueError):
+            exchange_rate([_rec(1.0)], bin_seconds=0.0)
+
+
+class TestGainCaptured:
+    def test_fraction(self):
+        log = [_rec(10.0, var=30.0), _rec(100.0, var=10.0)]
+        assert gain_captured_by(log, 50.0) == pytest.approx(0.75)
+        assert gain_captured_by(log, 200.0) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gain_captured_by([], 10.0)
+
+
+class TestOnRealRun:
+    def test_engine_log_analyzable(self, gnutella):
+        from repro.core.config import PROPConfig
+        from repro.core.protocol import PROPEngine
+        from repro.netsim.engine import Simulator
+        from repro.netsim.rng import RngRegistry
+
+        sim = Simulator()
+        eng = PROPEngine(gnutella, PROPConfig(policy="G"), sim, RngRegistry(4))
+        eng.start()
+        sim.run_until(3600.0)
+        log = eng.counters.exchange_log
+        stats = exchange_stats(log)
+        assert stats.count == eng.counters.exchanges
+        # warm-up front-loading: most gain lands in the first 10 rounds
+        assert gain_captured_by(log, 600.0) > 0.5
+        edges, rates = exchange_rate(log, bin_seconds=600.0, until=3600.0)
+        assert rates[0] > rates[-1]

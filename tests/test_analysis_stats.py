@@ -1,0 +1,68 @@
+"""Paired statistical comparison of replicated runs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import compare_replicated
+from repro.core.config import PROPConfig
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.replicate import replicate
+
+FAST = ExperimentConfig(
+    preset="ts-small",
+    n_overlay=60,
+    duration=900.0,
+    sample_interval=450.0,
+    lookups_per_sample=60,
+)
+
+SEEDS = [1, 2, 3, 4, 5]
+
+
+@pytest.fixture(scope="module")
+def plain_summary():
+    return replicate(FAST, SEEDS)
+
+
+@pytest.fixture(scope="module")
+def prop_summary():
+    return replicate(FAST.but(prop=PROPConfig(policy="G")), SEEDS)
+
+
+def test_prop_g_significantly_better(plain_summary, prop_summary):
+    cmp = compare_replicated(plain_summary, prop_summary)
+    assert cmp.n_pairs == 5
+    assert cmp.mean_diff < 0  # B (PROP-G) lower latency
+    assert cmp.significant
+    assert cmp.verdict() == "B lower (better)"
+    assert cmp.t_pvalue < 0.05
+
+
+def test_self_comparison_not_significant(plain_summary):
+    cmp = compare_replicated(plain_summary, plain_summary)
+    assert cmp.mean_diff == 0.0
+    assert not cmp.significant or cmp.ci_low == cmp.ci_high == 0.0
+    assert cmp.wilcoxon_pvalue == 1.0
+
+
+def test_mismatched_seeds_rejected(plain_summary):
+    other = replicate(FAST, [7, 8])
+    with pytest.raises(ValueError):
+        compare_replicated(plain_summary, other)
+
+
+def test_single_replica_rejected():
+    one = replicate(FAST, [1])
+    with pytest.raises(ValueError):
+        compare_replicated(one, one)
+
+
+def test_confidence_validated(plain_summary):
+    with pytest.raises(ValueError):
+        compare_replicated(plain_summary, plain_summary, confidence=1.5)
+
+
+def test_metric_selectable(plain_summary, prop_summary):
+    cmp = compare_replicated(plain_summary, prop_summary, metric="link_stretch")
+    assert cmp.metric == "link_stretch"
+    assert cmp.mean_diff < 0

@@ -1,0 +1,75 @@
+"""Directory reports over stored results."""
+
+import json
+
+import pytest
+
+from repro.analysis.tables import describe_config, summarize_directory
+from repro.core.config import PROPConfig
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.persistence import save_result
+
+FAST = dict(
+    preset="ts-small",
+    n_overlay=60,
+    duration=300.0,
+    sample_interval=150.0,
+    lookups_per_sample=30,
+)
+
+
+@pytest.fixture(scope="module")
+def study_dir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("study")
+    save_result(run_experiment(ExperimentConfig(**FAST)), d / "a_plain.json")
+    save_result(
+        run_experiment(ExperimentConfig(prop=PROPConfig(policy="G"), **FAST)),
+        d / "b_propg.json",
+    )
+    return d
+
+
+class TestDescribe:
+    def test_plain(self):
+        assert describe_config({"overlay_kind": "chord", "n_overlay": 10, "preset": "ts-large"}) == \
+            "chord n=10 none ts-large"
+
+    def test_prop_o(self):
+        desc = describe_config({
+            "overlay_kind": "gnutella", "n_overlay": 5,
+            "prop": {"policy": "O", "m": 2}, "preset": "ts-small",
+            "heterogeneous": True,
+        })
+        assert "PROP-O m=2" in desc and "het" in desc
+
+
+class TestSummarizeDirectory:
+    def test_tabulates_all_records(self, study_dir):
+        out = summarize_directory(study_dir)
+        assert "a_plain.json" in out and "b_propg.json" in out
+        assert "PROP-G" in out and "none" in out
+
+    def test_skips_foreign_json(self, study_dir):
+        (study_dir / "notes.json").write_text(json.dumps({"hello": 1}))
+        out = summarize_directory(study_dir)
+        assert "skipped" in out and "notes.json" in out
+
+    def test_metric_selectable(self, study_dir):
+        out = summarize_directory(study_dir, metric="link_stretch")
+        assert "link_stretch" in out
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            summarize_directory(tmp_path)
+
+    def test_non_dir_rejected(self, study_dir):
+        with pytest.raises(ValueError):
+            summarize_directory(study_dir / "a_plain.json")
+
+
+def test_cli_report(study_dir, capsys):
+    from repro.cli import main
+
+    assert main(["report", str(study_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "deployment" in out and "final/initial" in out

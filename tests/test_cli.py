@@ -1,0 +1,69 @@
+"""CLI: argument mapping, output, and error handling."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.overlay == "gnutella"
+        assert args.n == 1000
+        assert args.policy is None and not args.ltm
+
+    def test_policy_and_ltm_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "G", "--ltm"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_overlay_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--overlay", "napster"])
+
+
+class TestPresetsCommand:
+    def test_lists_both_presets(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "ts-large" in out and "ts-small" in out
+        assert "6100" in out and "6010" in out
+
+
+class TestRunCommand:
+    COMMON = [
+        "run", "--preset", "ts-small", "--n", "60",
+        "--duration", "300", "--sample-interval", "150", "--lookups", "40",
+    ]
+
+    def test_plain_run(self, capsys):
+        assert main(self.COMMON) == 0
+        out = capsys.readouterr().out
+        assert "lookup latency" in out
+        assert "gnutella / none" in out
+
+    def test_prop_g_run(self, capsys):
+        assert main(self.COMMON + ["--policy", "G"]) == 0
+        out = capsys.readouterr().out
+        assert "PROP-G" in out
+        assert "exchanges" in out
+
+    def test_prop_o_run_with_m(self, capsys):
+        assert main(self.COMMON + ["--policy", "O", "--m", "2"]) == 0
+        assert "PROP-O" in capsys.readouterr().out
+
+    def test_ltm_run(self, capsys):
+        assert main(self.COMMON + ["--ltm"]) == 0
+        assert "LTM" in capsys.readouterr().out
+
+    def test_chord_run(self, capsys):
+        argv = [a for a in self.COMMON] + ["--overlay", "chord", "--policy", "G"]
+        assert main(argv) == 0
+        assert "chord / PROP-G" in capsys.readouterr().out
+
+    def test_invalid_combination_surfaces_config_error(self):
+        with pytest.raises(ValueError):
+            main(self.COMMON + ["--overlay", "chord", "--policy", "O"])

@@ -1,0 +1,76 @@
+"""Oracle disk cache: hits, correctness, corruption recovery."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.rng import RngRegistry
+from repro.topology.cache import cache_key, cached_oracle
+from repro.topology.latency import LatencyOracle
+from repro.topology.transit_stub import TransitStubParams, generate_transit_stub
+
+
+@pytest.fixture()
+def net():
+    return generate_transit_stub(
+        TransitStubParams(2, 2, 2, 5), RngRegistry(1).stream("t")
+    )
+
+
+@pytest.fixture()
+def hosts(net):
+    return RngRegistry(1).stream("m").choice(net.n, size=10, replace=False)
+
+
+def test_matches_direct_computation(net, hosts, tmp_path):
+    cached = cached_oracle(net, hosts, tmp_path)
+    direct = LatencyOracle(net, hosts)
+    assert np.array_equal(cached.matrix, direct.matrix)
+
+
+def test_second_call_loads_from_disk(net, hosts, tmp_path):
+    a = cached_oracle(net, hosts, tmp_path)
+    files = list(tmp_path.glob("oracle-*.npy"))
+    assert len(files) == 1
+    mtime = files[0].stat().st_mtime_ns
+    b = cached_oracle(net, hosts, tmp_path)
+    assert files[0].stat().st_mtime_ns == mtime  # not rewritten
+    assert np.array_equal(a.matrix, b.matrix)
+
+
+def test_key_changes_with_membership(net, hosts, tmp_path):
+    other = np.sort(hosts)[::-1].copy()
+    assert cache_key(net, hosts) != cache_key(net, other)
+
+
+def test_key_changes_with_topology(net, hosts):
+    other_net = generate_transit_stub(
+        TransitStubParams(2, 2, 2, 5), RngRegistry(2).stream("t")
+    )
+    assert cache_key(net, hosts) != cache_key(other_net, hosts)
+
+
+def test_corrupt_cache_regenerated(net, hosts, tmp_path):
+    cached_oracle(net, hosts, tmp_path)
+    path = next(tmp_path.glob("oracle-*.npy"))
+    path.write_bytes(b"garbage")
+    oracle = cached_oracle(net, hosts, tmp_path)
+    direct = LatencyOracle(net, hosts)
+    assert np.array_equal(oracle.matrix, direct.matrix)
+
+
+def test_wrong_shape_regenerated(net, hosts, tmp_path):
+    cached_oracle(net, hosts, tmp_path)
+    path = next(tmp_path.glob("oracle-*.npy"))
+    np.save(path, np.zeros((3, 3)))
+    oracle = cached_oracle(net, hosts, tmp_path)
+    assert oracle.matrix.shape == (10, 10)
+    assert oracle.matrix.max() > 0
+
+
+def test_cached_oracle_fully_functional(net, hosts, tmp_path):
+    oracle = cached_oracle(net, hosts, tmp_path)
+    oracle = cached_oracle(net, hosts, tmp_path)  # loaded path
+    assert oracle.n == 10
+    assert oracle.between(0, 0) == 0.0
+    assert oracle.sum_to(0, [1, 2]) > 0
+    assert oracle.mean_physical_link() > 0

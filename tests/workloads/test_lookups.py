@@ -1,0 +1,83 @@
+"""Lookup workload generators: ranges, bias, collision freedom."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.lookups import biased_target_pairs, uniform_keys, uniform_pairs
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestUniformPairs:
+    def test_shape_and_range(self):
+        pairs = uniform_pairs(50, 200, _rng())
+        assert pairs.shape == (200, 2)
+        assert pairs.min() >= 0 and pairs.max() < 50
+
+    def test_no_self_lookups(self):
+        pairs = uniform_pairs(10, 2000, _rng())
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+
+    def test_destination_coverage(self):
+        pairs = uniform_pairs(10, 2000, _rng())
+        assert len(np.unique(pairs[:, 1])) == 10
+
+    def test_needs_two_slots(self):
+        with pytest.raises(ValueError):
+            uniform_pairs(1, 5, _rng())
+
+
+class TestUniformKeys:
+    def test_shape_and_range(self):
+        q = uniform_keys(20, 1 << 16, 300, _rng())
+        assert q.shape == (300, 2)
+        assert q[:, 0].min() >= 0 and q[:, 0].max() < 20
+        assert q[:, 1].min() >= 0 and q[:, 1].max() < (1 << 16)
+
+    def test_needs_one_slot(self):
+        with pytest.raises(ValueError):
+            uniform_keys(0, 16, 5, _rng())
+
+
+class TestBiasedPairs:
+    def _slots(self, n=40):
+        fast = np.arange(0, n, 2)
+        slow = np.arange(1, n, 2)
+        return fast, slow
+
+    def test_extremes(self):
+        fast, slow = self._slots()
+        all_fast = biased_target_pairs(fast, slow, 1.0, 500, _rng())
+        assert np.all(np.isin(all_fast[:, 1], fast))
+        all_slow = biased_target_pairs(fast, slow, 0.0, 500, _rng())
+        assert np.all(np.isin(all_slow[:, 1], slow))
+
+    def test_fraction_respected(self):
+        fast, slow = self._slots()
+        pairs = biased_target_pairs(fast, slow, 0.3, 5000, _rng())
+        frac = np.mean(np.isin(pairs[:, 1], fast))
+        assert frac == pytest.approx(0.3, abs=0.03)
+
+    def test_no_self_lookups(self):
+        fast, slow = self._slots(6)
+        pairs = biased_target_pairs(fast, slow, 0.5, 3000, _rng())
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+
+    def test_fraction_validated(self):
+        fast, slow = self._slots()
+        with pytest.raises(ValueError):
+            biased_target_pairs(fast, slow, 1.5, 10, _rng())
+
+    def test_empty_population_validated(self):
+        fast, slow = self._slots()
+        with pytest.raises(ValueError):
+            biased_target_pairs(np.array([], dtype=int), slow, 0.5, 10, _rng())
+        with pytest.raises(ValueError):
+            biased_target_pairs(fast, np.array([], dtype=int), 0.5, 10, _rng())
+
+    def test_all_fast_with_no_slow_ok(self):
+        fast, slow = self._slots()
+        pairs = biased_target_pairs(fast, np.array([], dtype=int), 1.0, 100, _rng())
+        assert np.all(np.isin(pairs[:, 1], fast))

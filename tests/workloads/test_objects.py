@@ -1,0 +1,91 @@
+"""Replicated-object catalogs and queries."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.objects import build_catalog, replica_queries
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestCatalog:
+    def test_counts_proportional_to_popularity(self):
+        cat = build_catalog(100, 20, _rng(), max_replicas=10)
+        counts = cat.replica_counts()
+        assert counts[0] == 10
+        assert np.all(np.diff(counts) <= 0)  # non-increasing with rank
+        assert counts.min() >= 1
+
+    def test_holders_distinct_slots(self):
+        cat = build_catalog(50, 10, _rng(), max_replicas=20)
+        for h in cat.holders:
+            assert len(np.unique(h)) == len(h)
+            assert h.min() >= 0 and h.max() < 50
+
+    def test_min_replicas_respected(self):
+        cat = build_catalog(100, 5, _rng(), max_replicas=8, min_replicas=3)
+        assert cat.replica_counts().min() >= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_catalog(10, 0, _rng())
+        with pytest.raises(ValueError):
+            build_catalog(10, 5, _rng(), max_replicas=20)
+        with pytest.raises(ValueError):
+            build_catalog(10, 5, _rng(), min_replicas=0)
+
+
+class TestQueries:
+    def test_shapes(self):
+        cat = build_catalog(60, 15, _rng())
+        qs = replica_queries(cat, 60, 100, _rng())
+        assert len(qs) == 100
+        for src, holders in qs:
+            assert 0 <= src < 60
+            assert holders.size >= 1
+
+    def test_popular_objects_dominate(self):
+        cat = build_catalog(60, 50, _rng())
+        qs = replica_queries(cat, 60, 5000, _rng())
+        # popular objects have more replicas: mean holder count per query
+        # must exceed the catalog-wide mean
+        per_query = np.mean([h.size for _, h in qs])
+        assert per_query > cat.replica_counts().mean()
+
+
+class TestReplicaLookups:
+    def test_min_over_holders(self, gnutella):
+        holders = np.array([5, 9, 21])
+        vals = [gnutella.lookup_latency(0, int(h)) for h in holders]
+        assert gnutella.replica_lookup_latency(0, holders) == pytest.approx(min(vals))
+
+    def test_self_holder_free(self, gnutella):
+        assert gnutella.replica_lookup_latency(4, [1, 4, 9]) == 0.0
+
+    def test_empty_holders_rejected(self, gnutella):
+        with pytest.raises(ValueError):
+            gnutella.replica_lookup_latency(0, [])
+
+    def test_more_replicas_never_slower(self, gnutella):
+        few = gnutella.replica_lookup_latency(0, [30])
+        many = gnutella.replica_lookup_latency(0, [30, 31, 32, 33])
+        assert many <= few
+
+    def test_mean_replica_latency_end_to_end(self, gnutella):
+        rng = np.random.default_rng(1)
+        cat = build_catalog(gnutella.n_slots, 20, rng)
+        qs = replica_queries(cat, gnutella.n_slots, 60, rng)
+        val = gnutella.mean_replica_lookup_latency(qs)
+        flat = gnutella.mean_lookup_latency(
+            np.array([[s, int(h[0])] for s, h in qs])
+        )
+        assert 0 < val <= flat  # replicas can only help
+
+    def test_ttl_failures_excluded(self, gnutella):
+        rng = np.random.default_rng(2)
+        cat = build_catalog(gnutella.n_slots, 10, rng, max_replicas=2)
+        qs = replica_queries(cat, gnutella.n_slots, 40, rng)
+        val = gnutella.mean_replica_lookup_latency(qs, ttl=2)
+        assert np.isfinite(val) or val == float("inf")

@@ -1,0 +1,59 @@
+"""Zipf-skewed lookup workloads."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.zipf import zipf_ranks, zipf_target_pairs
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestZipfRanks:
+    def test_range(self):
+        r = zipf_ranks(50, 1000, _rng())
+        assert r.min() >= 0 and r.max() < 50
+
+    def test_skew(self):
+        r = zipf_ranks(100, 20_000, _rng())
+        top_share = np.mean(r < 10)
+        uniform_share = 0.1
+        assert top_share > 3 * uniform_share  # heavy head
+
+    def test_exponent_controls_skew(self):
+        light = zipf_ranks(100, 20_000, _rng(1), exponent=0.5)
+        heavy = zipf_ranks(100, 20_000, _rng(1), exponent=2.0)
+        assert np.mean(heavy < 5) > np.mean(light < 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_ranks(0, 10, _rng())
+        with pytest.raises(ValueError):
+            zipf_ranks(10, 10, _rng(), exponent=0.0)
+
+
+class TestZipfPairs:
+    def test_shape_and_no_self_lookups(self):
+        pairs = zipf_target_pairs(40, 2000, _rng())
+        assert pairs.shape == (2000, 2)
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+
+    def test_destinations_skewed(self):
+        pairs = zipf_target_pairs(100, 20_000, _rng())
+        _, counts = np.unique(pairs[:, 1], return_counts=True)
+        counts = np.sort(counts)[::-1]
+        assert counts[0] > 5 * counts[-1]
+
+    def test_popularity_decoupled_from_slot_index(self):
+        """The most popular destination is not systematically slot 0."""
+        tops = set()
+        for seed in range(8):
+            pairs = zipf_target_pairs(50, 2000, _rng(seed))
+            vals, counts = np.unique(pairs[:, 1], return_counts=True)
+            tops.add(int(vals[np.argmax(counts)]))
+        assert len(tops) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_target_pairs(1, 10, _rng())
