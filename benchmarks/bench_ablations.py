@@ -15,7 +15,7 @@ from repro.harness.reporting import format_table
 from repro.harness.sweep import run_sweep
 
 
-def test_ablation_min_var(benchmark, emit):
+def test_ablation_min_var(benchmark, emit, workers):
     configs = {
         f"MIN_VAR={mv}": paper_config(
             overlay_kind="gnutella",
@@ -24,7 +24,7 @@ def test_ablation_min_var(benchmark, emit):
         )
         for mv in (0.0, 100.0, 500.0, 2000.0)
     }
-    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False))
+    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers))
 
     rows = [
         [label, r.link_stretch[-1] / r.link_stretch[0], r.final_counters.exchanges]
@@ -43,9 +43,9 @@ def test_ablation_min_var(benchmark, emit):
     assert ratios[0] <= min(ratios) + 0.02
 
 
-def test_ablation_markov_timer(benchmark, emit):
-    # max_timer_factor=2 makes the timer wrap to init after one doubling:
-    # effectively a (nearly) fixed-rate prober.
+def test_ablation_markov_timer(benchmark, emit, workers):
+    # max_timer_factor=2 caps the timer at one doubling (2I, served once,
+    # then back to I): effectively a (nearly) fixed-rate prober.
     configs = {
         "Markov timer (2^5 cap)": paper_config(
             overlay_kind="gnutella",
@@ -58,7 +58,7 @@ def test_ablation_markov_timer(benchmark, emit):
             duration=5400.0,
         ),
     }
-    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False))
+    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers))
 
     rows = [
         [
@@ -84,7 +84,7 @@ def test_ablation_markov_timer(benchmark, emit):
     )
 
 
-def test_ablation_nhops_cost_benefit(benchmark, emit):
+def test_ablation_nhops_cost_benefit(benchmark, emit, workers):
     configs = {
         f"nhops={h}": paper_config(
             overlay_kind="gnutella",
@@ -93,7 +93,7 @@ def test_ablation_nhops_cost_benefit(benchmark, emit):
         )
         for h in (2, 4, 6)
     }
-    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False))
+    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers))
 
     rows = [
         [
@@ -116,7 +116,7 @@ def test_ablation_nhops_cost_benefit(benchmark, emit):
     assert ratios[0] < min(ratios[1:]) + 0.05
 
 
-def test_ablation_prop_o_selection_policy(benchmark, emit):
+def test_ablation_prop_o_selection_policy(benchmark, emit, workers):
     configs = {
         sel: paper_config(
             overlay_kind="gnutella",
@@ -125,7 +125,7 @@ def test_ablation_prop_o_selection_policy(benchmark, emit):
         )
         for sel in ("greedy", "farthest", "random")
     }
-    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False))
+    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers))
 
     rows = [
         [label, r.link_stretch[-1] / r.link_stretch[0], r.final_counters.exchanges]

@@ -12,7 +12,7 @@ from repro.harness.reporting import format_table
 from repro.harness.sweep import run_sweep
 
 
-def test_prop_g_on_can_and_pastry(benchmark, emit):
+def test_prop_g_on_can_and_pastry(benchmark, emit, workers):
     base = dict(duration=2400.0, lookups_per_sample=300)
     configs = {
         "CAN d=2": paper_config(overlay_kind="can", n_overlay=512, **base),
@@ -28,7 +28,7 @@ def test_prop_g_on_can_and_pastry(benchmark, emit):
             overlay_kind="kademlia", n_overlay=512, prop=PROPConfig(policy="G"), **base
         ),
     }
-    results = run_once(benchmark, lambda: run_sweep(configs))
+    results = run_once(benchmark, lambda: run_sweep(configs, workers=workers))
 
     rows = [
         [label, r.initial_stretch, r.final_stretch, r.link_stretch[0], r.link_stretch[-1]]

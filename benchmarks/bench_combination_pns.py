@@ -13,7 +13,7 @@ from repro.harness.reporting import format_table
 from repro.harness.sweep import run_sweep
 
 
-def test_combination_with_pns_and_pis(benchmark, emit):
+def test_combination_with_pns_and_pis(benchmark, emit, workers):
     base = dict(overlay_kind="chord", duration=2400.0, lookups_per_sample=600)
     configs = {
         "Chord": paper_config(**base),
@@ -27,7 +27,7 @@ def test_combination_with_pns_and_pis(benchmark, emit):
             pis_landmarks=8, prop=PROPConfig(policy="G"), **base
         ),
     }
-    results = run_once(benchmark, lambda: run_sweep(configs))
+    results = run_once(benchmark, lambda: run_sweep(configs, workers=workers))
 
     rows = [
         [label, r.initial_stretch, r.final_stretch, r.final_lookup_latency]

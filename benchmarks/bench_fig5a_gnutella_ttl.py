@@ -22,12 +22,12 @@ SCENARIOS = {
 }
 
 
-def test_fig5a_gnutella_vary_ttl(benchmark, emit):
+def test_fig5a_gnutella_vary_ttl(benchmark, emit, workers):
     configs = {
         label: paper_config(overlay_kind="gnutella", prop=prop)
         for label, prop in SCENARIOS.items()
     }
-    results = run_once(benchmark, lambda: run_sweep(configs))
+    results = run_once(benchmark, lambda: run_sweep(configs, workers=workers))
 
     times = next(iter(results.values())).times
     series = {label: r.lookup_latency for label, r in results.items()}

@@ -15,7 +15,7 @@ from repro.harness.sweep import run_sweep
 SIZES = [300, 500, 1000, 5000]
 
 
-def test_fig5b_gnutella_vary_size(benchmark, emit):
+def test_fig5b_gnutella_vary_size(benchmark, emit, workers):
     configs = {
         f"n={n}, nhops=2": paper_config(
             overlay_kind="gnutella",
@@ -25,7 +25,7 @@ def test_fig5b_gnutella_vary_size(benchmark, emit):
         )
         for n in SIZES
     }
-    results = run_once(benchmark, lambda: run_sweep(configs))
+    results = run_once(benchmark, lambda: run_sweep(configs, workers=workers))
 
     times = next(iter(results.values())).times
     emit(

@@ -14,7 +14,7 @@ from repro.harness.reporting import format_series, format_table
 from repro.harness.sweep import run_sweep
 
 
-def test_fig5c_gnutella_vary_topology(benchmark, emit):
+def test_fig5c_gnutella_vary_topology(benchmark, emit, workers):
     configs = {
         preset: paper_config(
             overlay_kind="gnutella",
@@ -23,7 +23,7 @@ def test_fig5c_gnutella_vary_topology(benchmark, emit):
         )
         for preset in ("ts-large", "ts-small")
     }
-    results = run_once(benchmark, lambda: run_sweep(configs))
+    results = run_once(benchmark, lambda: run_sweep(configs, workers=workers))
 
     times = next(iter(results.values())).times
     rows = [

@@ -21,12 +21,12 @@ SCENARIOS = {
 }
 
 
-def test_fig6a_chord_vary_ttl(benchmark, emit):
+def test_fig6a_chord_vary_ttl(benchmark, emit, workers):
     configs = {
         label: paper_config(overlay_kind="chord", prop=prop, lookups_per_sample=600)
         for label, prop in SCENARIOS.items()
     }
-    results = run_once(benchmark, lambda: run_sweep(configs))
+    results = run_once(benchmark, lambda: run_sweep(configs, workers=workers))
 
     times = next(iter(results.values())).times
     emit(

@@ -35,7 +35,7 @@ PROTOCOLS = {
 }
 
 
-def test_fig7_bimodal_delay_vs_fast_fraction(benchmark, emit):
+def test_fig7_bimodal_delay_vs_fast_fraction(benchmark, emit, workers):
     def run_grid():
         grid = {}
         for label, kw in PROTOCOLS.items():
@@ -45,7 +45,7 @@ def test_fig7_bimodal_delay_vs_fast_fraction(benchmark, emit):
                 )
                 for phi in FRACTIONS
             }
-            grid[label] = run_sweep(configs)
+            grid[label] = run_sweep(configs, workers=workers)
         # unoptimized reference for normalization
         grid["none"] = run_sweep(
             {
@@ -53,7 +53,8 @@ def test_fig7_bimodal_delay_vs_fast_fraction(benchmark, emit):
                     overlay_kind="gnutella", fast_lookup_fraction=phi
                 )
                 for phi in FRACTIONS
-            }
+            },
+            workers=workers,
         )
         return grid
 

@@ -22,7 +22,7 @@ from repro.metrics.overhead import (
 )
 
 
-def test_overhead_messages_per_step(benchmark, emit):
+def test_overhead_messages_per_step(benchmark, emit, workers):
     configs = {
         "PROP-G": paper_config(
             overlay_kind="gnutella", prop=PROPConfig(policy="G"), duration=1800.0
@@ -34,7 +34,7 @@ def test_overhead_messages_per_step(benchmark, emit):
             overlay_kind="gnutella", prop=PROPConfig(policy="O", m=4), duration=1800.0
         ),
     }
-    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False))
+    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers))
 
     rows = []
     measured = {}

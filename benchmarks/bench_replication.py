@@ -16,7 +16,7 @@ from repro.harness.reporting import format_table
 SEEDS = [0, 1, 2, 3, 4]
 
 
-def test_headline_numbers_replicate_across_seeds(benchmark, emit):
+def test_headline_numbers_replicate_across_seeds(benchmark, emit, workers):
     def run():
         gnutella = replicate(
             paper_config(
@@ -26,6 +26,7 @@ def test_headline_numbers_replicate_across_seeds(benchmark, emit):
                 lookups_per_sample=500,
             ),
             SEEDS,
+            workers=workers,
         )
         chord = replicate(
             paper_config(
@@ -35,6 +36,7 @@ def test_headline_numbers_replicate_across_seeds(benchmark, emit):
                 lookups_per_sample=400,
             ),
             SEEDS,
+            workers=workers,
         )
         return gnutella, chord
 

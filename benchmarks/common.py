@@ -13,7 +13,13 @@ from __future__ import annotations
 
 from repro.harness.experiment import ExperimentConfig
 
-__all__ = ["PAPER", "FIG7", "run_once"]
+__all__ = [
+    "PAPER",
+    "FIG7",
+    "add_workers_option",
+    "run_once",
+    "workers_from_config",
+]
 
 # Section 5.1 defaults: ts-large, n = 1000, probe timer 60 s.  One
 # simulated hour with 6-minute samples covers warm-up (10 probes) and
@@ -48,6 +54,31 @@ FIG7 = dict(
 def run_once(benchmark, fn):
     """Execute ``fn`` exactly once under the benchmark timer."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def add_workers_option(parser) -> None:
+    """Register the suite-wide ``--workers`` flag (called from conftest).
+
+    Sweep- and replication-driven benches fan their independent worlds
+    out over this many processes via ``repro.harness.parallel``;
+    results are identical for every value (determinism guarantee), only
+    wall-clock changes.
+    """
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sweep/replication benches "
+             "(default: 1 = serial; 0 = one per core)",
+    )
+
+
+def workers_from_config(config) -> int:
+    """The ``--workers`` value, defaulting to serial when unregistered."""
+    try:
+        return int(config.getoption("--workers"))
+    except (ValueError, KeyError):
+        return 1
 
 
 def paper_config(**overrides) -> ExperimentConfig:

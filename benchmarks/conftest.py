@@ -13,7 +13,19 @@ import pathlib
 
 import pytest
 
+from benchmarks.common import add_workers_option, workers_from_config
+
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def pytest_addoption(parser):
+    add_workers_option(parser)
+
+
+@pytest.fixture(scope="session")
+def workers(request) -> int:
+    """Process count for sweep/replication benches (``--workers``)."""
+    return workers_from_config(request.config)
 
 
 @pytest.fixture(scope="session")

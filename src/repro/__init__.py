@@ -37,12 +37,16 @@ from repro.core import (
 from repro.harness import (
     ExperimentConfig,
     ExperimentResult,
+    Task,
+    TaskEvent,
     World,
     build_world,
     format_series,
     format_table,
+    replicate,
     run_experiment,
     run_sweep,
+    run_tasks,
 )
 from repro.metrics import average_latency, stretch
 from repro.netsim import RngRegistry, Simulator
@@ -96,6 +100,8 @@ __all__ = [
     "ProtocolCounters",
     "RngRegistry",
     "Simulator",
+    "Task",
+    "TaskEvent",
     "TransitStubParams",
     "World",
     "average_latency",
@@ -110,8 +116,10 @@ __all__ = [
     "generate_transit_stub",
     "pis_embedding",
     "random_walk",
+    "replicate",
     "run_experiment",
     "run_sweep",
+    "run_tasks",
     "select_prop_o",
     "stretch",
     "ts_large",

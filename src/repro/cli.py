@@ -14,6 +14,8 @@ Examples
     python -m repro run --overlay chord --n 300 --policy G
     python -m repro run --overlay gnutella --policy O --m 2 --duration 1800
     python -m repro run --overlay gnutella --ltm --seed 3
+    python -m repro run --policy G --seeds 0,1,2,3,4 --workers 4
+    python -m repro figure fig5b --workers 4
     python -m repro presets
 """
 
@@ -26,6 +28,7 @@ from typing import Sequence
 from repro.baselines.ltm import LTMConfig
 from repro.core.config import PROPConfig
 from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.parallel import TaskEvent
 from repro.harness.reporting import format_series, format_table
 from repro.topology.presets import TS_LARGE, TS_SMALL
 
@@ -73,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--pis-landmarks", type=int, default=None,
                      help="Chord: PIS identifier assignment with this many landmarks")
 
+    run.add_argument("--seeds", type=str, default=None, metavar="S0,S1,...",
+                     help="run one replica per comma-separated seed and "
+                          "report the aggregate (overrides --seed)")
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes for multi-seed runs "
+                          "(default: 1 = in-process; 0 = one per core)")
+
     run.add_argument("--save", type=str, default=None, metavar="PATH",
                      help="save the result to this JSON file")
 
@@ -92,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="which figure to regenerate")
     figure.add_argument("--scale", choices=["paper", "quick"], default="quick",
                         help="paper scale (n=1000, slow) or quick sanity scale (default)")
+    figure.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep "
+                             "(default: 1 = in-process; 0 = one per core)")
 
     report = sub.add_parser("report", help="tabulate saved results in a directory")
     report.add_argument("directory", help="directory of result JSON files")
@@ -129,6 +142,57 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _print_progress(event: TaskEvent) -> None:
+    """Render structured task events on stderr, one line per transition."""
+    if event.status == "start":
+        print(f"  {event.label}", file=sys.stderr)
+    elif event.status == "retry":
+        print(f"  {event.label} retrying ({event.error})", file=sys.stderr)
+    elif event.status == "failed":
+        print(f"  {event.label} FAILED ({event.error})", file=sys.stderr)
+
+
+def _parse_seeds(spec: str) -> list[int]:
+    try:
+        seeds = [int(s) for s in spec.split(",") if s.strip() != ""]
+    except ValueError:
+        raise SystemExit(f"error: --seeds must be comma-separated integers, got {spec!r}")
+    if not seeds:
+        raise SystemExit("error: --seeds must name at least one seed")
+    return seeds
+
+
+def _cmd_run_replicated(args: argparse.Namespace, config: ExperimentConfig,
+                        label: str, seeds: list[int]) -> int:
+    from repro.harness.replicate import replicate
+
+    if args.save:
+        raise SystemExit("error: --save stores a single result; drop --seeds")
+    print(
+        f"replicating {config.overlay_kind} n={config.n_overlay} on {config.preset} "
+        f"with optimizer={label} over {len(seeds)} seeds "
+        f"(workers={args.workers}) ...",
+        file=sys.stderr,
+    )
+    summary = replicate(config, seeds, workers=args.workers, progress=_print_progress)
+    print(
+        format_series(
+            f"{config.overlay_kind} / {label}  mean over seeds {seeds}",
+            summary.times,
+            {
+                "stretch (mean)": summary.stretch.mean,
+                "lookup latency (ms, mean)": summary.lookup_latency.mean,
+                "lookup latency (ms, min)": summary.lookup_latency.low,
+                "lookup latency (ms, max)": summary.lookup_latency.high,
+            },
+        )
+    )
+    print(f"\nimprovement ratio (final/initial lookup latency): "
+          f"{summary.mean_improvement():.3f} +/- {summary.std_improvement():.3f} "
+          f"over {summary.n_replicas} seeds")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     label = "none"
@@ -136,12 +200,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         label = f"PROP-{config.prop.policy}"
     elif config.ltm is not None:
         label = "LTM"
+    if args.seeds is not None:
+        return _cmd_run_replicated(args, config, label, _parse_seeds(args.seeds))
     print(
         f"running {config.overlay_kind} n={config.n_overlay} on {config.preset} "
         f"with optimizer={label} for {config.duration:.0f}s ...",
         file=sys.stderr,
     )
-    result = run_experiment(config)
+    if args.workers != 1:
+        # Route through the pool even for a single deployment so
+        # `--workers` smoke-tests the parallel path end to end.
+        from repro.harness.sweep import run_sweep
+
+        result = run_sweep({label: config}, workers=args.workers)[label]
+    else:
+        result = run_experiment(config)
     print(
         format_series(
             f"{config.overlay_kind} / {label}",
@@ -192,10 +265,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     configs = figure_configs(args.figure_id, scale=args.scale)
     print(
         f"regenerating {args.figure_id} ({figure_description(args.figure_id)}) "
-        f"at {args.scale} scale: {len(configs)} runs ...",
+        f"at {args.scale} scale: {len(configs)} runs (workers={args.workers}) ...",
         file=sys.stderr,
     )
-    results = run_sweep(configs, progress=lambda label: print(f"  {label}", file=sys.stderr))
+    results = run_sweep(configs, workers=args.workers, progress=_print_progress)
     times = next(iter(results.values())).times
     metric = "stretch" if args.figure_id.startswith("fig6") else "lookup_latency"
     print(

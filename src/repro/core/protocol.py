@@ -160,18 +160,23 @@ class PROPEngine:
         state = self.nodes[u]
         success = self._attempt_exchange(u, state)
 
-        # Phase / timer bookkeeping.
+        # Phase / timer bookkeeping.  The first-exchange trial count is
+        # recorded *before* the warm-up -> maintenance transition: an
+        # exchange landing on the final warm-up trial is a warm-up
+        # exchange (trial MAX_INIT_TRIAL), not a post-warm-up one.
         if state.phase == _WARMUP:
             state.trials += 1
             if success:
                 state.timer.on_success()
+                if state.probes_until_first_exchange is None:
+                    state.probes_until_first_exchange = state.trials
             if state.trials >= self.config.max_init_trial:
                 state.phase = _MAINTENANCE
             delay = self.config.init_timer
         else:
             delay = state.timer.on_success() if success else state.timer.on_failure()
-        if success and state.probes_until_first_exchange is None:
-            state.probes_until_first_exchange = state.trials if state.phase == _WARMUP else -1
+            if success and state.probes_until_first_exchange is None:
+                state.probes_until_first_exchange = -1
         self.sim.schedule(delay, self._probe_cycle, u)
 
     def _attempt_exchange(self, u: int, state: NodeState) -> bool:

@@ -33,10 +33,19 @@ class MarkovTimer:
         return self.value
 
     def on_failure(self) -> float:
-        """No exchange: back off, wrapping to init at the cap."""
-        self.value *= 2.0
+        """No exchange: back off, wrapping to init after the cap is served.
+
+        The paper's rule ("if Timer >= MAX_TIMER, it will be set as
+        INIT_TIMER") is a check on the *current* timer, not the doubled
+        one: a converged node backs off I, 2I, ... up to MAX_TIMER,
+        waits that cap period exactly once, and only then wraps to
+        INIT_TIMER.  Checking after doubling instead would skip the cap
+        period entirely and give at most four effective doublings.
+        """
         if self.value >= self.cap:
             self.value = self.init
+        else:
+            self.value = min(self.value * 2.0, self.cap)
         return self.value
 
     def on_churn(self) -> float:

@@ -7,6 +7,7 @@ from repro.harness.experiment import (
     build_world,
     run_experiment,
 )
+from repro.harness.parallel import Task, TaskError, TaskEvent, run_tasks
 from repro.harness.persistence import StoredResult, load_result, save_result
 from repro.harness.replicate import ReplicatedSeries, ReplicationSummary, replicate
 from repro.harness.reporting import format_series, format_table
@@ -18,6 +19,9 @@ __all__ = [
     "ReplicatedSeries",
     "ReplicationSummary",
     "StoredResult",
+    "Task",
+    "TaskError",
+    "TaskEvent",
     "World",
     "build_world",
     "format_series",
@@ -26,5 +30,6 @@ __all__ = [
     "replicate",
     "run_experiment",
     "run_sweep",
+    "run_tasks",
     "save_result",
 ]

@@ -1,0 +1,267 @@
+"""Parallel execution of independent experiment tasks.
+
+Every sweep and every multi-seed replication is embarrassingly parallel:
+each labelled task builds its own world from its own config/seed and
+never touches another task's state.  :func:`run_tasks` is the single
+primitive the harness routes that workload through — a
+``ProcessPoolExecutor``-backed fan-out with the robustness a long
+benchmark run needs:
+
+* ``workers=1`` executes in-process, exactly as the old serial loops
+  did, and is the default everywhere.
+* Results are keyed and ordered by task label, so the output is
+  byte-identical regardless of worker count or completion order
+  (each task is deterministic in its own arguments).
+* Worker crashes (a segfaulting process, an OOM kill) and per-task
+  timeouts are retried in a fresh pool up to ``max_retries`` times
+  before :class:`TaskError` is raised; ordinary exceptions raised *by*
+  the task are deterministic and propagate immediately, as they would
+  serially.
+* Platforms without usable multiprocessing (no ``/dev/shm``, no fork —
+  some sandboxes and embedded interpreters) fall back to the serial
+  path instead of failing.
+* Progress is reported through structured :class:`TaskEvent` callbacks
+  (label, status, elapsed seconds) rather than bare label strings, so
+  callers can render retries and failures, not just starts.
+
+Task callables must be picklable (module-level functions) when
+``workers > 1``; the harness's own task functions
+(:func:`repro.harness.sweep._sweep_task`,
+:func:`repro.harness.replicate._replicate_task`) satisfy this.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "Task",
+    "TaskEvent",
+    "TaskError",
+    "effective_workers",
+    "run_tasks",
+]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent unit of work: ``fn(*args, **kwargs)`` under a label."""
+
+    label: str
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """Structured progress notification.
+
+    ``status`` is one of ``"start"`` (task submitted / begun),
+    ``"done"`` (result available), ``"retry"`` (worker crash or timeout,
+    task will run again), ``"failed"`` (retries exhausted).  ``elapsed``
+    is seconds since the task first started; ``error`` carries the
+    failure description for ``retry``/``failed`` events.
+    """
+
+    label: str
+    status: str
+    elapsed: float = 0.0
+    error: str | None = None
+
+
+class TaskError(RuntimeError):
+    """A task could not be completed after exhausting its retries."""
+
+    def __init__(self, label: str, reason: str) -> None:
+        super().__init__(f"task {label!r} failed: {reason}")
+        self.label = label
+        self.reason = reason
+
+
+ProgressCallback = Callable[[TaskEvent], None]
+
+
+def effective_workers(workers: int | None, n_tasks: int) -> int:
+    """Clamp a worker request to something sensible for ``n_tasks``.
+
+    ``None`` or ``0`` means "one per core, capped by the task count".
+    """
+    if workers is None or workers <= 0:
+        workers = os.cpu_count() or 1
+    return max(1, min(int(workers), n_tasks)) if n_tasks else 1
+
+
+def _emit(progress: ProgressCallback | None, event: TaskEvent) -> None:
+    if progress is not None:
+        progress(event)
+
+
+def _run_serial(
+    tasks: Sequence[Task], progress: ProgressCallback | None
+) -> dict[str, Any]:
+    results: dict[str, Any] = {}
+    for task in tasks:
+        started = time.monotonic()
+        _emit(progress, TaskEvent(task.label, "start"))
+        results[task.label] = task.fn(*task.args, **task.kwargs)
+        _emit(progress, TaskEvent(task.label, "done", time.monotonic() - started))
+    return results
+
+
+def _terminate_pool(executor: ProcessPoolExecutor) -> None:
+    """Tear a pool down even if a worker is wedged mid-task."""
+    # Snapshot first: shutdown() clears the process table, and it never
+    # kills a busy worker — a hung task would leak its process (and on
+    # some platforms block interpreter exit) without the terminate pass.
+    procs = list((getattr(executor, "_processes", None) or {}).values())
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    *,
+    workers: int = 1,
+    progress: ProgressCallback | None = None,
+    task_timeout: float | None = None,
+    max_retries: int = 1,
+    mp_context: Any | None = None,
+) -> dict[str, Any]:
+    """Execute independent tasks, optionally across worker processes.
+
+    Parameters
+    ----------
+    tasks:
+        Labelled units of work; labels must be distinct (they key the
+        result dict).
+    workers:
+        Process count.  ``1`` (default) runs serially in-process;
+        ``None``/``0`` means one per CPU core.  The pool path requires
+        picklable ``task.fn``.
+    progress:
+        Optional callback receiving :class:`TaskEvent` notifications.
+    task_timeout:
+        Seconds to wait for each task's result once the runner starts
+        waiting on it (earlier waits overlap later tasks' execution, so
+        this is a hang detector, not a precise per-task budget).  A
+        timeout tears the pool down and retries the unfinished tasks.
+    max_retries:
+        How many times a task lost to a worker crash or timeout is
+        re-attempted before :class:`TaskError` is raised.  Exceptions
+        raised *by* the task itself are never retried — they are
+        deterministic and propagate immediately.
+    mp_context:
+        Optional ``multiprocessing`` context (e.g. for ``spawn`` starts).
+
+    Returns
+    -------
+    dict
+        ``label -> result`` in the order the tasks were given, identical
+        for every worker count.
+    """
+    tasks = list(tasks)
+    labels = [t.label for t in tasks]
+    if len(set(labels)) != len(labels):
+        raise ValueError("task labels must be distinct")
+    if not tasks:
+        return {}
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+
+    # Serial iff the caller asked for one worker: a pool is requested
+    # even for a single task (it buys crash isolation and timeouts),
+    # but its size never exceeds the task count.
+    requested = int(workers) if workers is not None and workers > 0 else (os.cpu_count() or 1)
+    if requested <= 1:
+        return _run_serial(tasks, progress)
+    n_workers = effective_workers(requested, len(tasks))
+
+    results: dict[str, Any] = {}
+    attempts: dict[str, int] = {t.label: 0 for t in tasks}
+    first_start: dict[str, float] = {}
+    pending = tasks
+
+    while pending:
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=min(n_workers, len(pending)), mp_context=mp_context
+            )
+        except Exception:
+            # Platform cannot run worker processes at all: degrade to the
+            # serial path for everything still outstanding.
+            serial = _run_serial(pending, progress)
+            results.update(serial)
+            break
+
+        submitted = []
+        for task in pending:
+            if task.label not in first_start:
+                first_start[task.label] = time.monotonic()
+                _emit(progress, TaskEvent(task.label, "start"))
+            submitted.append((task, executor.submit(task.fn, *task.args, **task.kwargs)))
+
+        survivors: list[Task] = []
+        abandoned = False
+        failure = ""
+        for task, future in submitted:
+            if abandoned:
+                # Pool already condemned: salvage finished results, queue
+                # the rest for the next round.
+                if future.done() and not future.cancelled():
+                    try:
+                        results[task.label] = future.result(timeout=0)
+                        _emit(progress, TaskEvent(
+                            task.label, "done",
+                            time.monotonic() - first_start[task.label],
+                        ))
+                        continue
+                    except Exception:
+                        pass
+                survivors.append(task)
+                continue
+            try:
+                results[task.label] = future.result(timeout=task_timeout)
+                _emit(progress, TaskEvent(
+                    task.label, "done", time.monotonic() - first_start[task.label]
+                ))
+            except FutureTimeoutError:
+                failure = f"no result within {task_timeout:.0f}s"
+                abandoned = True
+                survivors.append(task)
+            except BrokenProcessPool:
+                failure = "worker process died"
+                abandoned = True
+                survivors.append(task)
+            except Exception:
+                # The task itself raised: deterministic, do not retry.
+                _terminate_pool(executor)
+                raise
+        if abandoned:
+            _terminate_pool(executor)
+        else:
+            executor.shutdown(wait=True)
+
+        pending = []
+        for task in survivors:
+            attempts[task.label] += 1
+            elapsed = time.monotonic() - first_start[task.label]
+            if attempts[task.label] > max_retries:
+                _emit(progress, TaskEvent(task.label, "failed", elapsed, failure))
+                raise TaskError(task.label, failure)
+            _emit(progress, TaskEvent(task.label, "retry", elapsed, failure))
+            pending.append(task)
+
+    return {label: results[label] for label in labels}

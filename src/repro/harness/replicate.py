@@ -10,12 +10,14 @@ mean / standard deviation / min / max envelopes, plus scalar summaries
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.harness.parallel import ProgressCallback, Task, run_tasks
 
 __all__ = ["ReplicatedSeries", "ReplicationSummary", "replicate"]
 
@@ -57,12 +59,20 @@ class ReplicationSummary:
         return len(self.seeds)
 
     def mean_improvement(self) -> float:
-        return float(self.improvement_ratios.mean())
+        """Mean final/initial lookup ratio over replicas with a valid ratio.
+
+        Replicas whose initial sample was zero or NaN carry a NaN ratio
+        (flagged with a warning at :func:`replicate` time) and are
+        excluded rather than silently poisoning the mean.
+        """
+        valid = self.improvement_ratios[np.isfinite(self.improvement_ratios)]
+        return float(valid.mean()) if valid.size else float("nan")
 
     def std_improvement(self) -> float:
-        if self.n_replicas < 2:
+        valid = self.improvement_ratios[np.isfinite(self.improvement_ratios)]
+        if valid.size < 2:
             return 0.0
-        return float(self.improvement_ratios.std(ddof=1))
+        return float(valid.std(ddof=1))
 
     def all_replicas_improve(self, metric: str = "lookup_latency") -> bool:
         """True iff the final value beats the initial one in *every* world."""
@@ -72,34 +82,62 @@ class ReplicationSummary:
         )
 
 
+def _replicate_task(
+    config: ExperimentConfig, seed: int, measure_lookups: bool
+) -> ExperimentResult:
+    """Module-level task body so worker processes can unpickle it."""
+    return run_experiment(config.but(seed=seed), measure_lookups=measure_lookups)
+
+
 def replicate(
     config: ExperimentConfig,
     seeds: Sequence[int],
     *,
     measure_lookups: bool = True,
+    workers: int = 1,
+    progress: ProgressCallback | None = None,
 ) -> ReplicationSummary:
     """Run ``config`` once per seed and aggregate the series.
 
     Every replica gets an entirely fresh world (topology, overlay,
     heterogeneity, workload) derived from its seed; all other config
-    fields are shared.
+    fields are shared.  Replicas are independent, so ``workers=N`` runs
+    them across N processes with per-seed series identical to the
+    serial path.
     """
     if len(seeds) == 0:
         raise ValueError("need at least one seed")
     if len(set(seeds)) != len(seeds):
         raise ValueError("seeds must be distinct")
-    results = tuple(
-        run_experiment(config.but(seed=int(s)), measure_lookups=measure_lookups)
-        for s in seeds
+    by_label = run_tasks(
+        [
+            Task(f"seed={int(s)}", _replicate_task, (config, int(s), measure_lookups))
+            for s in seeds
+        ],
+        workers=workers,
+        progress=progress,
     )
+    results = tuple(by_label.values())
     times = results[0].times
 
     def stack(name: str) -> np.ndarray:
         return np.stack([np.asarray(getattr(r, name), dtype=np.float64) for r in results])
 
     lookup_stack = stack("lookup_latency")
-    with np.errstate(invalid="ignore"):
-        ratios = lookup_stack[:, -1] / lookup_stack[:, 0]
+    initial = lookup_stack[:, 0]
+    final = lookup_stack[:, -1]
+    valid = np.isfinite(initial) & np.isfinite(final) & (initial > 0)
+    ratios = np.full(len(results), np.nan)
+    np.divide(final, initial, out=ratios, where=valid)
+    if not np.all(valid):
+        bad = [int(s) for s, ok in zip(seeds, valid) if not ok]
+        warnings.warn(
+            f"replicate: seeds {bad} produced a zero or non-finite initial "
+            "lookup sample; their improvement ratios are NaN and excluded "
+            "from mean_improvement()/std_improvement()",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return ReplicationSummary(
         config=config,
         seeds=tuple(int(s) for s in seeds),

@@ -3,27 +3,50 @@
 A sweep is an ordered mapping ``label -> config``; :func:`run_sweep`
 executes each and returns ``label -> result``, preserving order so the
 benchmark printers emit columns in the declared order.
+
+Sweep entries are fully independent simulated worlds, so they route
+through :func:`repro.harness.parallel.run_tasks`: ``workers=1`` keeps
+the historical in-process behavior, ``workers=N`` fans the configs out
+over N processes with identical results (every experiment is
+deterministic in its config alone).
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
 from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.harness.parallel import ProgressCallback, Task, run_tasks
 
 __all__ = ["run_sweep"]
+
+
+def _sweep_task(config: ExperimentConfig, measure_lookups: bool) -> ExperimentResult:
+    """Module-level task body so worker processes can unpickle it."""
+    return run_experiment(config, measure_lookups=measure_lookups)
 
 
 def run_sweep(
     configs: dict[str, ExperimentConfig],
     *,
     measure_lookups: bool = True,
-    progress: Callable[[str], None] | None = None,
+    workers: int = 1,
+    progress: ProgressCallback | None = None,
+    task_timeout: float | None = None,
+    max_retries: int = 1,
 ) -> dict[str, ExperimentResult]:
-    """Run every labelled config; returns results in the same order."""
-    results: dict[str, ExperimentResult] = {}
-    for label, cfg in configs.items():
-        if progress is not None:
-            progress(label)
-        results[label] = run_experiment(cfg, measure_lookups=measure_lookups)
-    return results
+    """Run every labelled config; returns results in the same order.
+
+    ``progress`` receives structured
+    :class:`~repro.harness.parallel.TaskEvent` notifications (label,
+    status, elapsed) as each config starts, finishes, or is retried.
+    """
+    tasks = [
+        Task(label, _sweep_task, (cfg, measure_lookups))
+        for label, cfg in configs.items()
+    ]
+    return run_tasks(
+        tasks,
+        workers=workers,
+        progress=progress,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+    )

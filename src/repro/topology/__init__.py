@@ -9,7 +9,7 @@ the two presets the paper evaluates on (:mod:`~repro.topology.presets`:
 the result (:mod:`~repro.topology.latency`).
 """
 
-from repro.topology.cache import cache_key, cached_oracle
+from repro.topology.cache import cache_key, cached_oracle, valid_matrix
 from repro.topology.latency import LatencyOracle
 from repro.topology.waxman import WaxmanParams, generate_waxman
 from repro.topology.presets import (
@@ -32,6 +32,7 @@ __all__ = [
     "WaxmanParams",
     "cache_key",
     "cached_oracle",
+    "valid_matrix",
     "generate_waxman",
     "LinkLatencies",
     "PhysicalNetwork",

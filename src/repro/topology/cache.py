@@ -10,19 +10,29 @@ benchmark invocations skip straight to simulation.
 The cache is content-addressed (SHA-256 over the exact inputs): a
 changed generator, preset, or membership can never serve a stale
 matrix.  Corrupt or unreadable cache files are silently regenerated.
+
+The cache is safe under concurrent use by parallel experiment workers
+(``repro.harness.parallel``): writers stage into a temp file whose name
+is unique per process and publish with an atomic rename, so two workers
+building the same world can never interleave bytes or serve each other
+a half-written file — the last completed write wins and both are
+byte-identical anyway.  Loads validate the matrix (shape, dtype,
+finiteness, non-negativity, zero diagonal) before trusting it.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import pathlib
+import uuid
 
 import numpy as np
 
 from repro.topology.latency import LatencyOracle
 from repro.topology.transit_stub import PhysicalNetwork
 
-__all__ = ["cache_key", "cached_oracle"]
+__all__ = ["cache_key", "cached_oracle", "valid_matrix"]
 
 
 def cache_key(network: PhysicalNetwork, hosts: np.ndarray) -> str:
@@ -36,31 +46,66 @@ def cache_key(network: PhysicalNetwork, hosts: np.ndarray) -> str:
     return h.hexdigest()[:32]
 
 
+def valid_matrix(matrix: object, n: int) -> bool:
+    """Is ``matrix`` a plausible ``n x n`` latency submatrix?
+
+    Guards the loaded-from-disk path against truncated or foreign files
+    that happen to unpickle: a latency matrix is a finite, non-negative
+    float array with a zero diagonal.
+    """
+    if not isinstance(matrix, np.ndarray):
+        return False
+    if matrix.shape != (n, n) or not np.issubdtype(matrix.dtype, np.floating):
+        return False
+    if not np.all(np.isfinite(matrix)) or matrix.size == 0:
+        return False
+    if np.any(matrix < 0) or np.any(np.diagonal(matrix) != 0.0):
+        return False
+    return True
+
+
 def cached_oracle(
     network: PhysicalNetwork,
     hosts: np.ndarray,
     cache_dir: str | pathlib.Path,
 ) -> LatencyOracle:
-    """A :class:`LatencyOracle`, loading its matrix from disk when cached."""
+    """A :class:`LatencyOracle`, loading its matrix from disk when cached.
+
+    Concurrency-safe: parallel workers racing on the same key each write
+    their own uniquely-named temp file and publish it atomically, so a
+    reader never observes a partial matrix.
+    """
     cache_dir = pathlib.Path(cache_dir)
     cache_dir.mkdir(parents=True, exist_ok=True)
     path = cache_dir / f"oracle-{cache_key(network, hosts)}.npy"
+    hosts_arr = np.asarray(hosts, dtype=np.int64)
 
     if path.exists():
         try:
-            matrix = np.load(path)
-            hosts_arr = np.asarray(hosts, dtype=np.int64)
-            if matrix.shape == (hosts_arr.size, hosts_arr.size):
-                oracle = LatencyOracle.__new__(LatencyOracle)
-                oracle.network = network
-                oracle.hosts = hosts_arr
-                oracle.matrix = matrix
-                return oracle
+            matrix = np.load(path, allow_pickle=False)
         except (OSError, ValueError):
-            pass  # fall through and regenerate
+            matrix = None  # fall through and regenerate
+        if valid_matrix(matrix, hosts_arr.size):
+            oracle = LatencyOracle.__new__(LatencyOracle)
+            oracle.network = network
+            oracle.hosts = hosts_arr
+            oracle.matrix = matrix
+            return oracle
 
     oracle = LatencyOracle(network, hosts)
-    tmp = path.with_suffix(".tmp.npy")
-    np.save(tmp, oracle.matrix)
-    tmp.replace(path)
+    # Unique per process/call: two workers computing the same entry must
+    # never np.save into the same temp file, and os.replace publishes
+    # the finished matrix atomically (last writer wins, contents equal).
+    tmp = path.with_name(f"{path.stem}.{os.getpid()}-{uuid.uuid4().hex[:8]}.tmp.npy")
+    try:
+        with open(tmp, "wb") as fh:
+            np.save(fh, oracle.matrix)
+        os.replace(tmp, path)
+    except OSError:
+        # Cache write failure (full/read-only disk) must not fail the
+        # run — the freshly computed oracle is still good.
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
     return oracle

@@ -156,6 +156,47 @@ class TestTimerDynamics:
         assert all(p == 1 for p in phases)  # all in maintenance by now
 
 
+class TestFirstExchangeRecording:
+    """Regression: an exchange on the *final* warm-up trial must record
+    its (positive) trial count, not the post-warm-up sentinel -1 — the
+    old code flipped the phase before recording."""
+
+    def test_success_on_last_warmup_trial_records_trial_count(self, gnutella):
+        eng, _ = _engine(gnutella, policy="G", max_init_trial=3)
+        eng._attempt_exchange = lambda u, state: True  # force an exchange
+        for _ in range(3):
+            eng._probe_cycle(0)
+        state = eng.nodes[0]
+        assert state.phase == 1  # warm-up exhausted
+        assert state.probes_until_first_exchange == 1
+
+    def test_success_exactly_on_final_trial(self, gnutella):
+        eng, _ = _engine(gnutella, policy="G", max_init_trial=3)
+        outcomes = iter([False, False, True])
+        eng._attempt_exchange = lambda u, state: next(outcomes)
+        for _ in range(3):
+            eng._probe_cycle(0)
+        state = eng.nodes[0]
+        assert state.phase == 1
+        assert state.probes_until_first_exchange == 3  # was -1 before the fix
+
+    def test_success_after_warmup_records_sentinel(self, gnutella):
+        eng, _ = _engine(gnutella, policy="G", max_init_trial=2)
+        outcomes = iter([False, False, True])
+        eng._attempt_exchange = lambda u, state: next(outcomes)
+        for _ in range(3):
+            eng._probe_cycle(0)
+        assert eng.nodes[0].probes_until_first_exchange == -1
+
+    def test_first_success_wins(self, gnutella):
+        eng, _ = _engine(gnutella, policy="G", max_init_trial=5)
+        outcomes = iter([False, True, True, False, True])
+        eng._attempt_exchange = lambda u, state: next(outcomes)
+        for _ in range(5):
+            eng._probe_cycle(0)
+        assert eng.nodes[0].probes_until_first_exchange == 2
+
+
 class TestChurn:
     def test_reset_slot_restarts_warmup(self, gnutella):
         eng, sim = _engine(gnutella, policy="G")

@@ -25,16 +25,37 @@ def test_success_resets():
 
 
 def test_wraps_at_cap():
-    """At most five doublings with the paper's 2^5 cap, then back to init."""
+    """Five doublings with the paper's 2^5 cap: the MAX_TIMER period is
+    served exactly once, then the timer wraps to init."""
     t = MarkovTimer(60.0, 32 * 60.0)
-    values = [t.on_failure() for _ in range(6)]
-    assert values == [120.0, 240.0, 480.0, 960.0, 60.0, 120.0]
+    values = [t.on_failure() for _ in range(7)]
+    assert values == [120.0, 240.0, 480.0, 960.0, 1920.0, 60.0, 120.0]
 
 
 def test_exact_cap_wraps():
     t = MarkovTimer(10.0, 40.0)
     assert t.on_failure() == 20.0
-    assert t.on_failure() == 10.0  # 40 >= cap -> wrap
+    assert t.on_failure() == 40.0  # the cap period is served ...
+    assert t.on_failure() == 10.0  # ... once, then wraps
+
+
+def test_cap_served_exactly_once_per_cycle():
+    """Regression: the old wrap check ran *after* doubling, so a node
+    backed off 2I..16I but never waited the MAX_TIMER period at all."""
+    t = MarkovTimer(60.0, 32 * 60.0)
+    cycle = [t.on_failure() for _ in range(6)]  # one full back-off cycle
+    assert cycle.count(32 * 60.0) == 1
+    assert cycle[-1] == 60.0
+    # and the next cycle repeats identically
+    assert [t.on_failure() for _ in range(6)] == cycle
+
+
+def test_non_power_of_two_cap_clamped():
+    """A cap off the doubling grid is served (clamped), not skipped."""
+    t = MarkovTimer(10.0, 25.0)
+    assert t.on_failure() == 20.0
+    assert t.on_failure() == 25.0  # clamped to the cap, served once
+    assert t.on_failure() == 10.0
 
 
 def test_churn_resets():

@@ -1,5 +1,7 @@
 """Multi-seed replication: aggregation math and world independence."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -49,6 +51,34 @@ def test_envelope_brackets_mean():
     summary = replicate(FAST, seeds=[1, 2])
     assert np.all(summary.lookup_latency.low <= summary.lookup_latency.mean + 1e-9)
     assert np.all(summary.lookup_latency.mean <= summary.lookup_latency.high + 1e-9)
+
+
+def test_degenerate_initial_sample_warns_instead_of_poisoning():
+    """Regression: a zero/NaN initial lookup sample used to flow through
+    ``invalid="ignore"`` division and silently poison mean_improvement().
+    With lookups unmeasured every series is NaN — the degenerate case."""
+    with pytest.warns(RuntimeWarning, match="zero or non-finite initial"):
+        summary = replicate(FAST, seeds=[1, 2], measure_lookups=False)
+    assert np.all(np.isnan(summary.improvement_ratios))
+    assert np.isnan(summary.mean_improvement())
+    assert summary.std_improvement() == 0.0
+
+
+def test_healthy_replication_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        summary = replicate(FAST, seeds=[1, 2])
+    assert np.all(np.isfinite(summary.improvement_ratios))
+
+
+def test_workers_match_serial_per_seed_series():
+    serial = replicate(FAST, seeds=[1, 2], workers=1)
+    pooled = replicate(FAST, seeds=[1, 2], workers=2)
+    assert serial.seeds == pooled.seeds
+    for a, b in zip(serial.results, pooled.results):
+        assert np.array_equal(a.lookup_latency, b.lookup_latency, equal_nan=True)
+        assert np.array_equal(a.stretch, b.stretch, equal_nan=True)
+        assert np.array_equal(a.exchanges, b.exchanges)
 
 
 def test_duplicate_seeds_rejected():

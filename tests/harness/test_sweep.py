@@ -1,4 +1,6 @@
-"""Sweep runner: ordering, labels, progress callbacks."""
+"""Sweep runner: ordering, labels, progress events, worker determinism."""
+
+import numpy as np
 
 from repro.harness.experiment import ExperimentConfig
 from repro.harness.sweep import run_sweep
@@ -22,14 +24,33 @@ def test_sweep_preserves_order_and_labels():
     assert results["n=80"].config.n_overlay == 80
 
 
-def test_progress_callback():
-    seen = []
-    run_sweep({"only": ExperimentConfig(**FAST)}, progress=seen.append)
-    assert seen == ["only"]
+def test_progress_events():
+    events = []
+    run_sweep({"only": ExperimentConfig(**FAST)}, progress=events.append)
+    assert [(e.label, e.status) for e in events] == [("only", "start"), ("only", "done")]
+    assert events[-1].elapsed >= 0.0
 
 
 def test_measure_lookups_forwarded():
-    import numpy as np
-
     results = run_sweep({"x": ExperimentConfig(**FAST)}, measure_lookups=False)
     assert np.all(np.isnan(results["x"].lookup_latency))
+
+
+def test_workers_do_not_change_results():
+    """Determinism guarantee: the same seeds produce byte-identical
+    series regardless of worker count or completion order."""
+    configs = {
+        "a": ExperimentConfig(**FAST, seed=1),
+        "b": ExperimentConfig(**FAST, seed=2),
+        "c": ExperimentConfig(**{**FAST, "n_overlay": 70}, seed=3),
+        "d": ExperimentConfig(**FAST, seed=4),
+    }
+    serial = run_sweep(configs, workers=1)
+    pooled = run_sweep(configs, workers=4)
+    assert list(serial) == list(pooled) == list(configs)
+    for label in configs:
+        for field in ("times", "stretch", "link_stretch", "lookup_latency",
+                      "probes", "messages", "exchanges"):
+            a = getattr(serial[label], field)
+            b = getattr(pooled[label], field)
+            assert np.array_equal(a, b, equal_nan=True), (label, field)

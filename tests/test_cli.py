@@ -67,3 +67,36 @@ class TestRunCommand:
     def test_invalid_combination_surfaces_config_error(self):
         with pytest.raises(ValueError):
             main(self.COMMON + ["--overlay", "chord", "--policy", "O"])
+
+
+class TestParallelExecution:
+    """Smoke tests keeping the worker-pool path exercised on every run."""
+
+    TINY = [
+        "run", "--preset", "ts-small", "--n", "60",
+        "--duration", "150", "--sample-interval", "150", "--lookups", "20",
+    ]
+
+    def test_run_through_pool(self, capsys):
+        assert main(self.TINY + ["--workers", "2"]) == 0
+        assert "lookup latency" in capsys.readouterr().out
+
+    def test_multi_seed_replication_with_workers(self, capsys):
+        assert main(self.TINY + ["--policy", "G", "--seeds", "0,1",
+                                 "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "mean over seeds [0, 1]" in out
+        assert "improvement ratio" in out
+
+    def test_seeds_reject_save(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self.TINY + ["--seeds", "0,1",
+                              "--save", str(tmp_path / "r.json")])
+
+    def test_malformed_seeds_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.TINY + ["--seeds", "0,x"])
+
+    def test_figure_accepts_workers(self):
+        args = build_parser().parse_args(["figure", "fig5a", "--workers", "4"])
+        assert args.workers == 4

@@ -1,10 +1,10 @@
-"""Oracle disk cache: hits, correctness, corruption recovery."""
+"""Oracle disk cache: hits, correctness, corruption recovery, concurrency."""
 
 import numpy as np
 import pytest
 
 from repro.netsim.rng import RngRegistry
-from repro.topology.cache import cache_key, cached_oracle
+from repro.topology.cache import cache_key, cached_oracle, valid_matrix
 from repro.topology.latency import LatencyOracle
 from repro.topology.transit_stub import TransitStubParams, generate_transit_stub
 
@@ -65,6 +65,67 @@ def test_wrong_shape_regenerated(net, hosts, tmp_path):
     oracle = cached_oracle(net, hosts, tmp_path)
     assert oracle.matrix.shape == (10, 10)
     assert oracle.matrix.max() > 0
+
+
+def test_nonfinite_cache_regenerated(net, hosts, tmp_path):
+    """A cached matrix with NaN/inf entries must be rejected, not served."""
+    cached_oracle(net, hosts, tmp_path)
+    path = next(tmp_path.glob("oracle-*.npy"))
+    bad = np.full((10, 10), np.inf)
+    np.fill_diagonal(bad, 0.0)
+    np.save(path, bad)
+    oracle = cached_oracle(net, hosts, tmp_path)
+    assert np.all(np.isfinite(oracle.matrix))
+    assert np.array_equal(oracle.matrix, LatencyOracle(net, hosts).matrix)
+
+
+def test_nonzero_diagonal_cache_regenerated(net, hosts, tmp_path):
+    cached_oracle(net, hosts, tmp_path)
+    path = next(tmp_path.glob("oracle-*.npy"))
+    bad = np.ones((10, 10))
+    np.save(path, bad)
+    oracle = cached_oracle(net, hosts, tmp_path)
+    assert oracle.matrix[0, 0] == 0.0
+    assert oracle.matrix.max() > 0
+
+
+def test_valid_matrix_predicate():
+    good = np.array([[0.0, 1.0], [1.0, 0.0]])
+    assert valid_matrix(good, 2)
+    assert not valid_matrix(good, 3)  # wrong size
+    assert not valid_matrix(good.astype(np.int64), 2)  # wrong dtype
+    assert not valid_matrix(np.array([[0.0, -1.0], [1.0, 0.0]]), 2)  # negative
+    assert not valid_matrix(np.array([[0.0, np.nan], [1.0, 0.0]]), 2)  # NaN
+    assert not valid_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]), 2)  # diag != 0
+    assert not valid_matrix([[0.0, 1.0], [1.0, 0.0]], 2)  # not an ndarray
+
+
+def test_no_temp_files_left_behind(net, hosts, tmp_path):
+    cached_oracle(net, hosts, tmp_path)
+    leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+    assert leftovers == []
+
+
+def test_concurrent_writers_never_corrupt(net, hosts, tmp_path):
+    """Two processes racing to build the same entry both publish whole
+    files via unique temps + atomic rename; the survivor is valid."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context("fork")
+    procs = [
+        ctx.Process(target=cached_oracle, args=(net, hosts, tmp_path))
+        for _ in range(3)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+        assert p.exitcode == 0
+    files = list(tmp_path.glob("oracle-*.npy"))
+    assert len(files) == 1
+    assert not [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+    oracle = cached_oracle(net, hosts, tmp_path)
+    assert np.array_equal(oracle.matrix, LatencyOracle(net, hosts).matrix)
 
 
 def test_cached_oracle_fully_functional(net, hosts, tmp_path):
