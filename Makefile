@@ -1,6 +1,16 @@
 # Convenience targets for the PROP reproduction.
 
-.PHONY: install test bench figures examples all
+.PHONY: install test bench figures examples lint all
+
+# ruff (configured in pyproject.toml) when available; offline images
+# fall back to the dependency-free subset checker in tools/lint.py.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples tools; \
+	else \
+		echo "ruff not installed; using tools/lint.py fallback"; \
+		python tools/lint.py; \
+	fi
 
 install:
 	pip install -e . || python setup.py develop  # fallback: offline envs without `wheel`
@@ -22,4 +32,4 @@ examples:
 	python examples/dht_family_comparison.py
 	python examples/parameter_study.py
 
-all: install test bench
+all: install lint test bench

@@ -24,7 +24,9 @@ def test_ablation_min_var(benchmark, emit, workers):
         )
         for mv in (0.0, 100.0, 500.0, 2000.0)
     }
-    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers))
+    results = run_once(
+        benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers)
+    )
 
     rows = [
         [label, r.link_stretch[-1] / r.link_stretch[0], r.final_counters.exchanges]
@@ -58,7 +60,9 @@ def test_ablation_markov_timer(benchmark, emit, workers):
             duration=5400.0,
         ),
     }
-    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers))
+    results = run_once(
+        benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers)
+    )
 
     rows = [
         [
@@ -93,7 +97,9 @@ def test_ablation_nhops_cost_benefit(benchmark, emit, workers):
         )
         for h in (2, 4, 6)
     }
-    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers))
+    results = run_once(
+        benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers)
+    )
 
     rows = [
         [
@@ -125,7 +131,9 @@ def test_ablation_prop_o_selection_policy(benchmark, emit, workers):
         )
         for sel in ("greedy", "farthest", "random")
     }
-    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers))
+    results = run_once(
+        benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers)
+    )
 
     rows = [
         [label, r.link_stretch[-1] / r.link_stretch[0], r.final_counters.exchanges]
@@ -175,7 +183,10 @@ def test_ablation_timed_vs_instantaneous_engine(benchmark, emit):
     rows = [[label, lat, ex, stale] for label, (lat, ex, stale) in data.items()]
     emit(
         "Ablation  instantaneous vs message-latency-aware engine (PROP-G / Gnutella)\n\n"
-        + format_table(["engine", "final mean edge latency (ms)", "exchanges", "stale aborts"], rows)
+        + format_table(
+            ["engine", "final mean edge latency (ms)", "exchanges", "stale aborts"],
+            rows,
+        )
     )
     inst, timed = data["instantaneous"], data["timed"]
     assert timed[0] < 1.3 * inst[0]  # same convergence story

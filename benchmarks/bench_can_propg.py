@@ -37,7 +37,8 @@ def test_prop_g_on_can_and_pastry(benchmark, emit, workers):
     emit(
         "Protocol independence  PROP-G on CAN and Pastry (n = 512)\n\n"
         + format_table(
-            ["deployment", "initial stretch", "final stretch", "link stretch t0", "link stretch t1"],
+            ["deployment", "initial stretch", "final stretch",
+             "link stretch t0", "link stretch t1"],
             rows,
         )
     )

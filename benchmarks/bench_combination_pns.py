@@ -35,7 +35,9 @@ def test_combination_with_pns_and_pis(benchmark, emit, workers):
     ]
     emit(
         "Combination  Chord routing stretch / lookup latency under baselines and PROP-G\n\n"
-        + format_table(["deployment", "initial stretch", "final stretch", "final lookup (ms)"], rows)
+        + format_table(
+            ["deployment", "initial stretch", "final stretch", "final lookup (ms)"], rows
+        )
     )
 
     plain = results["Chord"].final_lookup_latency

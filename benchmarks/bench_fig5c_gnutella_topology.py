@@ -53,4 +53,5 @@ def test_fig5c_gnutella_vary_topology(benchmark, emit, workers):
     drop_large = large.initial_lookup_latency - large.final_lookup_latency
     drop_small = small.initial_lookup_latency - small.final_lookup_latency
     assert drop_large > drop_small
-    assert large.link_stretch[-1] / large.link_stretch[0] < small.link_stretch[-1] / small.link_stretch[0]
+    assert (large.link_stretch[-1] / large.link_stretch[0]
+            < small.link_stretch[-1] / small.link_stretch[0])

@@ -44,4 +44,5 @@ def test_fig6b_chord_vary_size(benchmark, emit, workers):
 
     for r in results.values():
         assert r.final_stretch < r.initial_stretch
-    assert results["n=5000, nhops=2"].final_stretch / results["n=5000, nhops=2"].initial_stretch < 0.95
+    assert (results["n=5000, nhops=2"].final_stretch
+            / results["n=5000, nhops=2"].initial_stretch < 0.95)

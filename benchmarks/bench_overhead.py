@@ -9,13 +9,13 @@ f_p = 1/INIT_TIMER, then decays geometrically once the topology
 stabilizes.
 """
 
-import numpy as np
-
 from benchmarks.common import paper_config, run_once
 from repro.core.config import PROPConfig
+from repro.harness.experiment import ExperimentConfig
 from repro.harness.reporting import format_series, format_table
 from repro.harness.sweep import run_sweep
 from repro.metrics.overhead import (
+    COORDINATION_SLACK,
     prop_g_step_messages,
     prop_o_step_messages,
     worst_case_probe_frequency,
@@ -34,7 +34,9 @@ def test_overhead_messages_per_step(benchmark, emit, workers):
             overlay_kind="gnutella", prop=PROPConfig(policy="O", m=4), duration=1800.0
         ),
     }
-    results = run_once(benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers))
+    results = run_once(
+        benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers)
+    )
 
     rows = []
     measured = {}
@@ -60,6 +62,73 @@ def test_overhead_messages_per_step(benchmark, emit, workers):
     # PROP-O is cheaper per step than PROP-G, and ordering follows m.
     assert measured["PROP-O (m=2)"] < measured["PROP-G"]
     assert measured["PROP-O (m=2)"] < measured["PROP-O (m=4)"]
+
+
+def test_overhead_message_plane_matches_model(benchmark, emit, workers):
+    """The message-level engine's per-cycle counts obey Section 4.3.
+
+    At loss 0 with the bridge transport (``latency_scale=0``) the
+    message plane must reproduce the inline engine's protocol counters
+    except for exactly ``COORDINATION_SLACK`` extra collect messages per
+    probe (the walk terminal's VAR_REPLY), and the measured messages per
+    adjustment step must land on the closed forms nhop+2c / nhop+2m plus
+    that documented slack.
+    """
+    world = dict(preset="ts-small", n_overlay=200, duration=1800.0,
+                 sample_interval=360.0)
+    pairs = {
+        "PROP-G": PROPConfig(policy="G"),
+        "PROP-O (m=2)": PROPConfig(policy="O", m=2),
+    }
+    configs = {}
+    for label, prop in pairs.items():
+        configs[f"{label} inline"] = ExperimentConfig(prop=prop, **world)
+        configs[f"{label} message"] = ExperimentConfig(
+            prop=prop, transport="sim", latency_scale=0.0, **world
+        )
+    results = run_once(
+        benchmark, lambda: run_sweep(configs, measure_lookups=False, workers=workers)
+    )
+
+    rows = []
+    for label in pairs:
+        inl = results[f"{label} inline"].final_counters
+        msg = results[f"{label} message"].final_counters
+        # Identical trajectory, plus the documented slack — exactly.
+        assert msg.probes == inl.probes
+        assert msg.exchanges == inl.exchanges
+        assert msg.walk_messages == inl.walk_messages
+        assert msg.collect_messages == (
+            inl.collect_messages + COORDINATION_SLACK * msg.probes
+        )
+        per_step = (msg.walk_messages + msg.collect_messages) / msg.probes
+        rows.append([label, per_step, msg.probes, msg.exchanges])
+
+    # Against the closed forms: PROP-O's collect volume is exactly 2m per
+    # evaluated cycle; PROP-G's is 2c averaged over the evaluated pairs.
+    msg_o = results["PROP-O (m=2) message"].final_counters
+    n_eval_o = len(msg_o.var_history)
+    assert msg_o.collect_messages - COORDINATION_SLACK * msg_o.probes == (
+        int(2 * 2 * n_eval_o)
+    )
+    mean_degree = 6.0  # ~ the generated Gnutella mean degree
+    msg_g = results["PROP-G message"].final_counters
+    n_eval_g = len(msg_g.var_history)
+    collect_g = msg_g.collect_messages - COORDINATION_SLACK * msg_g.probes
+    assert abs(collect_g / n_eval_g - 2 * mean_degree) < 0.35 * (2 * mean_degree)
+
+    model_rows = [
+        ["PROP-G (nhop+2c+slack)",
+         prop_g_step_messages(2, mean_degree) + COORDINATION_SLACK],
+        ["PROP-O m=2 (nhop+2m+slack)",
+         prop_o_step_messages(2, 2) + COORDINATION_SLACK],
+    ]
+    emit(
+        "Overhead (Section 4.3)  message plane vs closed forms\n\n"
+        + format_table(["engine", "msgs/step", "probes", "exchanges"], rows)
+        + "\n\nClosed-form model plus documented coordination slack:\n\n"
+        + format_table(["model", "msgs/step"], model_rows)
+    )
 
 
 def test_overhead_probe_frequency_decay(benchmark, emit):

@@ -38,7 +38,8 @@ def main() -> None:
     print(
         format_series(
             "Chord + PROP-G through a churn burst "
-            f"({BURST_START:.0f}-{BURST_STOP:.0f} s, ~{config.churn.rate_per_node * 400 * 600:.0f} replacements)",
+            f"({BURST_START:.0f}-{BURST_STOP:.0f} s, "
+            f"~{config.churn.rate_per_node * 400 * 600:.0f} replacements)",
             result.times,
             {
                 "stretch": result.stretch,
@@ -53,7 +54,8 @@ def main() -> None:
     print(f"\nstretch before burst : {pre:.2f}")
     print(f"stretch after burst  : {during:.2f}  (churn damage)")
     print(f"stretch at end       : {result.stretch[-1]:.2f}  (recovered)")
-    print(f"total churn events   : ~{int(config.churn.rate_per_node * 400 * (BURST_STOP - BURST_START))}")
+    churned = int(config.churn.rate_per_node * 400 * (BURST_STOP - BURST_START))
+    print(f"total churn events   : ~{churned}")
 
 
 if __name__ == "__main__":

@@ -76,6 +76,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--pis-landmarks", type=int, default=None,
                      help="Chord: PIS identifier assignment with this many landmarks")
 
+    net = run.add_argument_group(
+        "message transport",
+        "run PROP as request/response messages instead of inline cycles",
+    )
+    net.add_argument("--transport", choices=["inline", "sim"], default="inline",
+                     help="protocol plane: 'inline' atomic cycles or 'sim' "
+                          "message-level over the event simulator (default: inline)")
+    net.add_argument("--loss", type=float, default=0.0, metavar="P",
+                     help="per-message drop probability in [0, 1) "
+                          "(requires --transport sim)")
+    net.add_argument("--partition", action="append", default=None,
+                     metavar="A:B[@T0-T1]",
+                     help="partition the overlay into two halves, optionally "
+                          "only between T0 and T1 seconds; repeatable "
+                          "(requires --transport sim)")
+
     run.add_argument("--seeds", type=str, default=None, metavar="S0,S1,...",
                      help="run one replica per comma-separated seed and "
                           "report the aggregate (overrides --seed)")
@@ -125,6 +141,11 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         )
     elif args.ltm:
         ltm = LTMConfig()
+    transport = None if args.transport == "inline" else args.transport
+    if transport is None and (args.loss or args.partition):
+        raise SystemExit("error: --loss/--partition require --transport sim")
+    if transport is not None and prop is None:
+        raise SystemExit("error: --transport sim requires a PROP policy (--policy)")
     return ExperimentConfig(
         seed=args.seed,
         preset=args.preset,
@@ -139,6 +160,9 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         duration=args.duration,
         sample_interval=args.sample_interval,
         lookups_per_sample=args.lookups,
+        transport=transport,
+        loss=args.loss,
+        partitions=tuple(args.partition or ()),
     )
 
 
@@ -229,6 +253,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.final_counters is not None:
         print(f"\nprobes/rounds: {result.probes[-1]}  "
               f"exchanges/ops: {result.exchanges[-1]}")
+    if result.net_stats is not None:
+        stats = result.net_stats
+        line = (f"messages: {stats.total_sent} sent, "
+                f"{stats.total_delivered} delivered, "
+                f"{stats.total_dropped} dropped")
+        if stats.drop_reasons:
+            reasons = ", ".join(f"{k}={v}"
+                                for k, v in sorted(stats.drop_reasons.items()))
+            line += f" ({reasons})"
+        print(line)
     print(f"lookup latency: {result.initial_lookup_latency:.1f} ms -> "
           f"{result.final_lookup_latency:.1f} ms")
     if args.save:

@@ -79,11 +79,17 @@ class PROPConfig:
         if self.selection not in ("greedy", "farthest", "random"):
             raise ValueError(f"unknown selection policy {self.selection!r}")
         if self.init_timer <= 0:
-            raise ValueError("init_timer must be positive")
+            raise ValueError(f"init_timer must be positive, got {self.init_timer}")
         if self.max_timer_factor < 1:
-            raise ValueError("max_timer_factor must be >= 1")
-        if self.max_init_trial < 0:
-            raise ValueError("max_init_trial must be >= 0")
+            raise ValueError(
+                f"max_timer_factor must be >= 1 so that max_timer >= init_timer, "
+                f"got {self.max_timer_factor}"
+            )
+        if self.max_init_trial < 1:
+            raise ValueError(
+                f"max_init_trial must be >= 1 (at least one warm-up probe), "
+                f"got {self.max_init_trial}"
+            )
 
     @property
     def max_timer(self) -> float:

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.core.config import PROPConfig
 from repro.core.exchange import execute_prop_g, execute_prop_o

@@ -21,7 +21,6 @@ Latencies are milliseconds; simulation time is seconds.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.protocol import PROPEngine, _MAINTENANCE, _WARMUP
 from repro.core.varcalc import evaluate_prop_g, select_prop_o

@@ -26,6 +26,9 @@ from repro.baselines.pns import PNSChordOverlay
 from repro.core.config import PROPConfig
 from repro.core.protocol import PROPEngine
 from repro.metrics.stretch import stretch as stretch_metric
+from repro.net.engine import MessagePROPEngine, NetConfig
+from repro.net.faults import FaultyTransport, PartitionSpec
+from repro.net.transport import SimTransport
 from repro.netsim.engine import Simulator
 from repro.netsim.rng import RngRegistry
 from repro.overlay.base import Overlay
@@ -83,6 +86,15 @@ class ExperimentConfig:
     pis_landmarks: int | None = None  # Chord: PIS identifier assignment
     pns: bool = False  # Chord: proximity-selected fingers
     pns_refresh_interval: float | None = None
+    # message plane (None = inline engine; "sim" = MessagePROPEngine)
+    transport: str | None = None
+    loss: float = 0.0
+    extra_delay_ms: float = 0.0
+    net_jitter_ms: float = 0.0
+    reorder_prob: float = 0.0
+    partitions: tuple[str, ...] = ()  # PartitionSpec strings, e.g. "a:b@120-300"
+    latency_scale: float = 1.0
+    net: NetConfig | None = None
     # measurement
     duration: float = 1800.0
     sample_interval: float = 120.0
@@ -107,6 +119,21 @@ class ExperimentConfig:
             raise ValueError("duration must cover at least one sample interval")
         if (self.pis_landmarks is not None or self.pns) and self.overlay_kind != "chord":
             raise ValueError("PIS/PNS apply to the chord overlay only")
+        if self.transport not in (None, "sim"):
+            raise ValueError(f"transport must be None or 'sim', got {self.transport!r}")
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {self.loss}")
+        if self.transport is None and (
+            self.loss or self.extra_delay_ms or self.net_jitter_ms
+            or self.reorder_prob or self.partitions
+        ):
+            raise ValueError("fault injection needs transport='sim'")
+        if self.transport is not None and self.prop is None:
+            raise ValueError("the message transport runs PROP only; set prop")
+        if self.latency_scale < 0.0:
+            raise ValueError(f"latency_scale must be >= 0, got {self.latency_scale}")
+        for spec in self.partitions:
+            PartitionSpec.parse(spec)  # raises on malformed specs
         rewiring_optimizer = self.ltm is not None or (
             self.prop is not None and self.prop.policy == "O"
         )
@@ -136,6 +163,7 @@ class World:
     ltm: LTMOptimizer | None
     churn: ChurnProcess | None
     spare_hosts: list[int]
+    transport: SimTransport | FaultyTransport | None = None
 
 
 @dataclass
@@ -158,6 +186,8 @@ class ExperimentResult:
     messages: np.ndarray  # cumulative protocol messages at each sample
     exchanges: np.ndarray  # cumulative successful exchanges
     final_counters: Any
+    net_stats: Any = None  # TransportStats when run over a message transport
+    net_counters: Any = None  # NetCounters (timeouts/retries) likewise
 
     @property
     def initial_lookup_latency(self) -> float:
@@ -218,8 +248,16 @@ def build_world(config: ExperimentConfig) -> World:
     sim = Simulator()
     engine: PROPEngine | None = None
     ltm: LTMOptimizer | None = None
+    transport: SimTransport | FaultyTransport | None = None
     if config.prop is not None:
-        engine = PROPEngine(overlay, config.prop, sim, rngs)
+        if config.transport is not None:
+            transport = _build_transport(config, sim, overlay, rngs)
+            engine = MessagePROPEngine(
+                overlay, config.prop, sim, rngs, transport,
+                net=config.net,
+            )
+        else:
+            engine = PROPEngine(overlay, config.prop, sim, rngs)
         engine.start()
     elif config.ltm is not None:
         ltm = LTMOptimizer(overlay, config.ltm, sim, rngs)
@@ -253,7 +291,36 @@ def build_world(config: ExperimentConfig) -> World:
         ltm=ltm,
         churn=churn,
         spare_hosts=spare_hosts,
+        transport=transport,
     )
+
+
+def _build_transport(
+    config: ExperimentConfig,
+    sim: Simulator,
+    overlay: Overlay,
+    rngs: RngRegistry,
+) -> SimTransport | FaultyTransport:
+    """The message plane: SimTransport, fault-wrapped when faults are on."""
+    base = SimTransport(sim, overlay, latency_scale=config.latency_scale)
+    specs = [PartitionSpec.parse(s) for s in config.partitions]
+    faulty = (
+        config.loss or config.extra_delay_ms or config.net_jitter_ms
+        or config.reorder_prob or specs
+    )
+    if not faulty:
+        return base
+    transport = FaultyTransport(
+        base,
+        rngs.stream("net:faults"),
+        loss=config.loss,
+        extra_delay_ms=config.extra_delay_ms,
+        jitter_ms=config.net_jitter_ms,
+        reorder_prob=config.reorder_prob,
+    )
+    for spec in specs:
+        spec.install(transport, sim, overlay.n_slots)
+    return transport
 
 
 def _build_overlay(
@@ -396,4 +463,9 @@ def run_experiment(config: ExperimentConfig, *, measure_lookups: bool = True) ->
         messages=messages,
         exchanges=exchanges,
         final_counters=final,
+        net_stats=world.transport.stats if world.transport is not None else None,
+        net_counters=(
+            world.engine.net_counters
+            if isinstance(world.engine, MessagePROPEngine) else None
+        ),
     )

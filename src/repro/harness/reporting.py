@@ -21,7 +21,8 @@ def _fmt_cell(x: object, width: int) -> str:
     return s.rjust(width)
 
 
-def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, min_width: int = 10) -> str:
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 *, min_width: int = 10) -> str:
     """Fixed-width table with a header rule."""
     rows = [list(r) for r in rows]
     widths = []

@@ -1,0 +1,181 @@
+"""Fault injection: a transport decorator and named partitions.
+
+:class:`FaultyTransport` wraps any :class:`~repro.net.transport.Transport`
+and injects, from its own seeded RNG stream (draw order is deterministic
+per seed, independent of the protocol streams):
+
+* **per-link loss** — ``loss`` is a probability, a ``{(src, dst): p}``
+  mapping (symmetric lookup), or a callable ``(src, dst) -> p``;
+* **extra delay and jitter** — a fixed ``extra_delay_ms`` plus a uniform
+  draw in ``[0, jitter_ms)`` per message;
+* **reordering** — with probability ``reorder_prob`` a message is held
+  an extra uniform ``[0, reorder_ms)``, letting later sends overtake it;
+* **named partitions** — while a partition is installed, messages
+  crossing between its two groups are dropped (counted separately from
+  random loss).  Partitions are installed/removed by name at any time,
+  so a transient partition is ``partition(...)`` + a scheduled
+  ``heal(...)``.
+
+:class:`PartitionSpec` is the CLI/harness grammar for transient
+partitions: ``a:b`` splits the overlay into named halves for the whole
+run; ``a:b@120-300`` installs the split at t=120 s and heals it at
+t=300 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.net.messages import Message
+from repro.net.transport import Handler, Transport, TransportStats
+
+__all__ = ["FaultyTransport", "PartitionSpec"]
+
+LossSpec = float | Mapping[tuple[int, int], float] | Callable[[int, int], float]
+
+
+class FaultyTransport:
+    """Transport decorator injecting seeded faults (see module docs)."""
+
+    def __init__(
+        self,
+        inner: Transport,
+        rng: np.random.Generator,
+        *,
+        loss: LossSpec = 0.0,
+        extra_delay_ms: float = 0.0,
+        jitter_ms: float = 0.0,
+        reorder_prob: float = 0.0,
+        reorder_ms: float = 50.0,
+    ) -> None:
+        if isinstance(loss, float) and not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss probability must be in [0, 1), got {loss}")
+        if extra_delay_ms < 0.0 or jitter_ms < 0.0 or reorder_ms < 0.0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= reorder_prob <= 1.0:
+            raise ValueError(f"reorder_prob must be in [0, 1], got {reorder_prob}")
+        self.inner = inner
+        self.rng = rng
+        self.loss = loss
+        self.extra_delay_ms = float(extra_delay_ms)
+        self.jitter_ms = float(jitter_ms)
+        self.reorder_prob = float(reorder_prob)
+        self.reorder_ms = float(reorder_ms)
+        self._partitions: dict[str, tuple[frozenset[int], frozenset[int]]] = {}
+
+    @property
+    def stats(self) -> TransportStats:
+        return self.inner.stats
+
+    @property
+    def partitions(self) -> dict[str, tuple[frozenset[int], frozenset[int]]]:
+        return dict(self._partitions)
+
+    # -- partition management -------------------------------------------
+
+    def partition(self, name: str, group_a: frozenset[int] | set[int],
+                  group_b: frozenset[int] | set[int]) -> None:
+        """Install (or replace) the named partition between two groups."""
+        a, b = frozenset(group_a), frozenset(group_b)
+        if a & b:
+            raise ValueError(f"partition {name!r} groups overlap: {sorted(a & b)}")
+        self._partitions[name] = (a, b)
+
+    def heal(self, name: str) -> None:
+        """Remove the named partition; unknown names are a no-op."""
+        self._partitions.pop(name, None)
+
+    def _severed(self, src: int, dst: int) -> bool:
+        for a, b in self._partitions.values():
+            if (src in a and dst in b) or (src in b and dst in a):
+                return True
+        return False
+
+    # -- transport interface --------------------------------------------
+
+    def register(self, slot: int, handler: Handler) -> None:
+        self.inner.register(slot, handler)
+
+    def _loss_for(self, src: int, dst: int) -> float:
+        loss = self.loss
+        if callable(loss):
+            return float(loss(src, dst))
+        if isinstance(loss, Mapping):
+            return float(loss.get((src, dst), loss.get((dst, src), 0.0)))
+        return float(loss)
+
+    def send(self, msg: Message, extra_delay_ms: float = 0.0) -> None:
+        stats = self.inner.stats
+        if self._severed(msg.src, msg.dst):
+            stats.record_send(msg)
+            stats.record_drop(msg, "partition")
+            return
+        p = self._loss_for(msg.src, msg.dst)
+        if p > 0.0 and float(self.rng.random()) < p:
+            stats.record_send(msg)
+            stats.record_drop(msg, "loss")
+            return
+        delay = extra_delay_ms + self.extra_delay_ms
+        if self.jitter_ms > 0.0:
+            delay += float(self.rng.random()) * self.jitter_ms
+        if self.reorder_prob > 0.0 and float(self.rng.random()) < self.reorder_prob:
+            delay += float(self.rng.random()) * self.reorder_ms
+        self.inner.send(msg, extra_delay_ms=delay)
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Parsed ``--partition`` directive: ``NAME_A:NAME_B[@START-END]``.
+
+    The overlay is split into two contiguous halves of slots (the first
+    half labelled ``name_a``, the rest ``name_b``).  Without a time
+    window the partition lasts the whole run; with ``@START-END`` it is
+    installed at ``start`` seconds and healed at ``end``.
+    """
+
+    name_a: str
+    name_b: str
+    start: float | None = None
+    end: float | None = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.name_a}:{self.name_b}"
+
+    @classmethod
+    def parse(cls, spec: str) -> "PartitionSpec":
+        body, _, window = spec.partition("@")
+        parts = body.split(":")
+        if len(parts) != 2 or not parts[0] or not parts[1]:
+            raise ValueError(
+                f"partition spec must look like 'a:b' or 'a:b@120-300', got {spec!r}"
+            )
+        start = end = None
+        if window:
+            lo, sep, hi = window.partition("-")
+            try:
+                start = float(lo)
+                end = float(hi) if sep else None
+            except ValueError:
+                raise ValueError(f"bad partition window in {spec!r}") from None
+            if end is not None and end <= start:
+                raise ValueError(f"partition window must end after it starts: {spec!r}")
+        return cls(parts[0], parts[1], start, end)
+
+    def groups(self, n_slots: int) -> tuple[frozenset[int], frozenset[int]]:
+        """The two slot halves: ``[0, n/2)`` and ``[n/2, n)``."""
+        half = n_slots // 2
+        return frozenset(range(half)), frozenset(range(half, n_slots))
+
+    def install(self, transport: FaultyTransport, sim, n_slots: int) -> None:
+        """Apply to ``transport`` now or on schedule via ``sim``."""
+        a, b = self.groups(n_slots)
+        if self.start is None or self.start <= sim.now:
+            transport.partition(self.name, a, b)
+        else:
+            sim.schedule(self.start - sim.now, transport.partition, self.name, a, b)
+        if self.end is not None:
+            sim.schedule(self.end - sim.now, transport.heal, self.name)

@@ -1,0 +1,188 @@
+"""Typed protocol messages.
+
+The PROP message grammar (docs/protocol.md has the full exchange
+diagrams).  Every message is a frozen dataclass carrying the source and
+destination *slots* — the transport resolves slots to hosts through the
+overlay embedding at send time, exactly like a real node resolving a
+peer address.
+
+Wire-size model: sizes are estimates for the telemetry layer (bytes on
+the wire per message type), not a serialization format.  A message costs
+``HEADER_BYTES`` (type tag, source/destination addresses, ids and a
+timestamp — the paper's probe message carries "the IP address of u, a
+timestamp, and a TTL value") plus ``INT_BYTES`` per integer payload
+field and per element of each slot list it carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = [
+    "HEADER_BYTES",
+    "INT_BYTES",
+    "MSG_TYPES",
+    "ExchangeAbort",
+    "ExchangeCommit",
+    "ExchangePrepare",
+    "Message",
+    "Notify",
+    "VarProbe",
+    "VarReply",
+    "Walk",
+]
+
+HEADER_BYTES = 28
+INT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base protocol message between two overlay slots."""
+
+    src: int
+    dst: int
+
+    #: Wire-grammar tag; subclasses override.
+    type_name = "MESSAGE"
+
+    def size_bytes(self) -> int:
+        """Estimated wire size: header + 4 bytes per integer payload."""
+        size = HEADER_BYTES
+        for f in fields(self):
+            if f.name in ("src", "dst"):
+                continue  # addressed in the header
+            value = getattr(self, f.name)
+            if isinstance(value, bool):
+                size += 1
+            elif isinstance(value, (int, float)):
+                size += INT_BYTES
+            elif isinstance(value, tuple):
+                size += INT_BYTES * len(value)
+            elif isinstance(value, str):
+                size += len(value)
+        return size
+
+
+@dataclass(frozen=True)
+class Walk(Message):
+    """``WALK`` — the TTL random-walk probe (Section 3.2).
+
+    ``path`` is the forwarding record ("any node that receives this
+    message will add an identifier … to avoid repetitive forwarding");
+    ``ttl`` counts the hops still allowed.  The node where the TTL hits
+    zero is the exchange candidate.
+    """
+
+    origin: int
+    ttl: int
+    cycle: int
+    path: tuple[int, ...]
+
+    type_name = "WALK"
+
+
+@dataclass(frozen=True)
+class VarProbe(Message):
+    """``VAR_PROBE`` — one latency-measurement ping to a neighbor.
+
+    Fire-and-forget: the measurement round-trip is modelled by the ping
+    message alone (matching the §4.3 count of one message per collected
+    latency); a lost ping degrades telemetry, not safety.
+    """
+
+    cycle: int
+
+    type_name = "VAR_PROBE"
+
+
+@dataclass(frozen=True)
+class VarReply(Message):
+    """``VAR_REPLY`` — the walk terminal reports back to the origin.
+
+    Carries the walk path (the connectivity guarantee of Theorem 1 —
+    these slots must never be traded) and the candidate's neighbor
+    snapshot, i.e. its half of the Var information collection.  ``ok``
+    is False when the candidate refuses (structurally incompatible pair
+    or candidate busy in another exchange).
+    """
+
+    cycle: int
+    candidate: int
+    ok: bool
+    path: tuple[int, ...]
+    cand_neighbors: tuple[int, ...]
+
+    type_name = "VAR_REPLY"
+
+
+@dataclass(frozen=True)
+class ExchangePrepare(Message):
+    """``EXCHANGE_PREPARE`` — phase one of the exchange commit.
+
+    The initiator proposes the exchange it evaluated: a position swap
+    (PROP-G, empty give lists) or the selected equal-size neighbor
+    trade (PROP-O).  The participant validates against its *current*
+    state and votes ``EXCHANGE_COMMIT`` or ``EXCHANGE_ABORT``.
+    """
+
+    xid: int
+    cycle: int
+    policy: str
+    var: float
+    give_u: tuple[int, ...]
+    give_v: tuple[int, ...]
+
+    type_name = "EXCHANGE_PREPARE"
+
+
+@dataclass(frozen=True)
+class ExchangeCommit(Message):
+    """``EXCHANGE_COMMIT`` — the participant's yes-vote.
+
+    The participant is now *prepared* (locked) and the initiator alone
+    applies the exchange; a lost vote therefore leaves both sides
+    unchanged, never half-swapped.
+    """
+
+    xid: int
+
+    type_name = "EXCHANGE_COMMIT"
+
+
+@dataclass(frozen=True)
+class ExchangeAbort(Message):
+    """``EXCHANGE_ABORT`` — either side cancels exchange ``xid``."""
+
+    xid: int
+    reason: str
+
+    type_name = "EXCHANGE_ABORT"
+
+
+@dataclass(frozen=True)
+class Notify(Message):
+    """``NOTIFY`` — post-exchange routing-state notification.
+
+    Sent to every routing-table holder affected by a committed exchange
+    (Section 3.2's "notify their neighbors").  The copy addressed to the
+    exchange participant carries ``commit=True`` and doubles as the
+    commit confirmation that releases its prepared lock.
+    """
+
+    xid: int
+    commit: bool
+
+    type_name = "NOTIFY"
+
+
+#: The wire grammar: every concrete message type, by tag.
+MSG_TYPES: tuple[str, ...] = (
+    "WALK",
+    "VAR_PROBE",
+    "VAR_REPLY",
+    "EXCHANGE_PREPARE",
+    "EXCHANGE_COMMIT",
+    "EXCHANGE_ABORT",
+    "NOTIFY",
+)

@@ -1,0 +1,152 @@
+"""The transport interface and the deterministic simulator transport.
+
+:class:`Transport` is the seam between the protocol state machine and
+the network: the engine registers one handler per slot and calls
+:meth:`~Transport.send`; everything else (latency, loss, partitions) is
+the transport's business.  :class:`SimTransport` delivers through the
+existing :class:`~repro.netsim.engine.Simulator` after the physical
+latency ``d(src, dst)`` read from the oracle via the overlay embedding —
+hosts that move (PROP-G swaps) automatically change their link
+latencies, as they would in a real deployment.
+
+``latency_scale`` exists for the determinism bridge: at ``0.0`` a
+message is delivered at the same timestamp it was sent (the event queue
+preserves insertion order within a timestamp), which recovers the
+paper's instantaneous-cycle abstraction as a special case of the message
+plane — the property the bridge integration test pins.
+
+Telemetry: :class:`TransportStats` tallies sends, deliveries, drops,
+bytes and the in-flight gauge per message type; the fault decorator
+records its drops here too, so one object describes the whole message
+plane.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.net.messages import Message
+from repro.netsim.engine import Simulator
+from repro.overlay.base import Overlay
+
+__all__ = ["DeliveryTap", "SimTransport", "Transport", "TransportStats"]
+
+_MS = 1e-3  # latency oracle is in milliseconds; simulation time in seconds
+
+Handler = Callable[[Message], None]
+DeliveryTap = Callable[[Message], None]
+
+
+@dataclass
+class TransportStats:
+    """Per-message telemetry for one transport."""
+
+    sent: Counter = field(default_factory=Counter)  # type -> count
+    delivered: Counter = field(default_factory=Counter)
+    dropped: Counter = field(default_factory=Counter)
+    drop_reasons: Counter = field(default_factory=Counter)  # reason -> count
+    bytes_sent: int = 0
+    in_flight: int = 0
+    max_in_flight: int = 0
+
+    @property
+    def total_sent(self) -> int:
+        return sum(self.sent.values())
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(self.delivered.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped.values())
+
+    def record_send(self, msg: Message) -> None:
+        self.sent[msg.type_name] += 1
+        self.bytes_sent += msg.size_bytes()
+        self.in_flight += 1
+        if self.in_flight > self.max_in_flight:
+            self.max_in_flight = self.in_flight
+
+    def record_delivery(self, msg: Message) -> None:
+        self.delivered[msg.type_name] += 1
+        self.in_flight -= 1
+
+    def record_drop(self, msg: Message, reason: str) -> None:
+        """A message that was sent but will never arrive."""
+        self.dropped[msg.type_name] += 1
+        self.drop_reasons[reason] += 1
+        self.in_flight -= 1
+
+
+class Transport(Protocol):
+    """What the protocol engine needs from a message plane."""
+
+    stats: TransportStats
+
+    def register(self, slot: int, handler: Handler) -> None:
+        """Install the receive handler for ``slot``."""
+        ...  # pragma: no cover - protocol signature
+
+    def send(self, msg: Message, extra_delay_ms: float = 0.0) -> None:
+        """Queue ``msg`` for delivery to ``msg.dst``'s handler."""
+        ...  # pragma: no cover - protocol signature
+
+
+class SimTransport:
+    """Deterministic transport over the discrete-event simulator.
+
+    Parameters
+    ----------
+    sim:
+        The simulator that owns time.
+    overlay:
+        Supplies ``latency(src, dst)`` (ms) through its embedding.
+    latency_scale:
+        Multiplier on the physical latency; ``0.0`` delivers at the
+        send timestamp (insertion order preserved — the determinism
+        bridge), ``1.0`` is the oracle latency.
+    tap:
+        Optional callback invoked *after* each delivered message's
+        handler ran; the fault-safety property suite uses it to check
+        invariants after every delivery.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        overlay: Overlay,
+        *,
+        latency_scale: float = 1.0,
+        tap: DeliveryTap | None = None,
+    ) -> None:
+        if latency_scale < 0.0:
+            raise ValueError(f"latency_scale must be >= 0, got {latency_scale}")
+        self.sim = sim
+        self.overlay = overlay
+        self.latency_scale = float(latency_scale)
+        self.tap = tap
+        self.stats = TransportStats()
+        self._handlers: dict[int, Handler] = {}
+
+    def register(self, slot: int, handler: Handler) -> None:
+        self._handlers[slot] = handler
+
+    def unregister(self, slot: int) -> None:
+        self._handlers.pop(slot, None)
+
+    def send(self, msg: Message, extra_delay_ms: float = 0.0) -> None:
+        """Deliver ``msg`` after ``d(src, dst) * scale + extra`` ms."""
+        self.stats.record_send(msg)
+        latency_ms = self.overlay.latency(msg.src, msg.dst) * self.latency_scale
+        self.sim.schedule((latency_ms + extra_delay_ms) * _MS, self._deliver, msg)
+
+    def _deliver(self, msg: Message) -> None:
+        self.stats.record_delivery(msg)
+        handler = self._handlers.get(msg.dst)
+        if handler is not None:
+            handler(msg)
+        if self.tap is not None:
+            self.tap(msg)

@@ -96,13 +96,16 @@ class EventQueue:
     def pop(self) -> Event:
         """Remove and return the next live event.
 
-        Raises :class:`IndexError` when no live events remain.
+        Raises :class:`IndexError` when no live events remain.  The
+        popped event is marked dead so a late ``cancel()`` through a
+        retained handle is a no-op instead of corrupting the live count.
         """
         self._drop_dead()
         if not self._heap:
             raise IndexError("pop from empty EventQueue")
         ev = heapq.heappop(self._heap)
         self._live -= 1
+        ev.cancelled = True
         return ev
 
     def clear(self) -> None:

@@ -79,7 +79,8 @@ class CANOverlay(Overlay):
 
     supports_rewiring = False  # edges are a function of the zone tiling
 
-    def __init__(self, oracle: LatencyOracle, embedding: np.ndarray, zones: list[Zone], dims: int) -> None:
+    def __init__(self, oracle: LatencyOracle, embedding: np.ndarray,
+                 zones: list[Zone], dims: int) -> None:
         super().__init__(oracle, embedding)
         if len(zones) != self.n_slots:
             raise ValueError("need exactly one zone per slot")
@@ -228,7 +229,8 @@ class CANOverlay(Overlay):
                 total += float(node_delay[s])
         return total
 
-    def lookup_latency(self, src: int, point: np.ndarray, node_delay: np.ndarray | None = None) -> float:
+    def lookup_latency(self, src: int, point: np.ndarray,
+                       node_delay: np.ndarray | None = None) -> float:
         return self.path_latency(self.route(src, point), node_delay)
 
     def total_zone_volume(self) -> float:

@@ -156,7 +156,9 @@ class GnutellaOverlay(Overlay):
 
     # -- flooding lookup model -------------------------------------------
 
-    def _directed_weights(self, node_delay: np.ndarray | None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _directed_weights(
+        self, node_delay: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Directed edge list (tail, head, weight) of the logical graph.
 
         ``weight(u -> v) = d(u, v) + node_delay[v]``: a query forwarded to

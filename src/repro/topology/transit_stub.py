@@ -168,7 +168,8 @@ class PhysicalNetwork:
         """Check structural invariants; raises ``ValueError`` on violation."""
         if self.edges_u.shape != self.edges_v.shape or self.edges_u.shape != self.edges_w.shape:
             raise ValueError("edge arrays must have identical shapes")
-        if self.n_edges and (self.edges_u.min() < 0 or max(self.edges_u.max(), self.edges_v.max()) >= self.n):
+        if self.n_edges and (self.edges_u.min() < 0
+                             or max(self.edges_u.max(), self.edges_v.max()) >= self.n):
             raise ValueError("edge endpoint out of range")
         if np.any(self.edges_u == self.edges_v):
             raise ValueError("self-loop in physical network")

@@ -74,7 +74,8 @@ def bimodal_processing_delay(
         raise ValueError("delays must be positive")
     n_fast = int(round(fast_fraction * n_hosts))
     is_fast = np.zeros(n_hosts, dtype=bool)
-    fast_idx = rng.choice(n_hosts, size=n_fast, replace=False) if n_fast else np.empty(0, dtype=np.intp)
+    fast_idx = (rng.choice(n_hosts, size=n_fast, replace=False)
+                if n_fast else np.empty(0, dtype=np.intp))
     is_fast[fast_idx] = True
     delay = np.where(is_fast, fast_ms, slow_ms).astype(np.float64)
     return BimodalDelay(delay_ms=delay, is_fast=is_fast)

@@ -14,7 +14,8 @@ import numpy as np
 __all__ = ["zipf_ranks", "zipf_target_pairs"]
 
 
-def zipf_ranks(n_items: int, k: int, rng: np.random.Generator, *, exponent: float = 1.0) -> np.ndarray:
+def zipf_ranks(n_items: int, k: int, rng: np.random.Generator,
+               *, exponent: float = 1.0) -> np.ndarray:
     """Draw ``k`` item ranks in ``[0, n_items)`` with P(r) ∝ 1/(r+1)^s."""
     if n_items < 1:
         raise ValueError("need at least one item")

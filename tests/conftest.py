@@ -7,7 +7,6 @@ mutate them (mutating tests build their own overlays via the factories).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.netsim.rng import RngRegistry

@@ -23,13 +23,37 @@ def test_paper_defaults():
         dict(nhops=0),
         dict(m=0),
         dict(init_timer=0.0),
+        dict(init_timer=-60.0),
         dict(max_timer_factor=0.5),
         dict(max_init_trial=-1),
+        dict(max_init_trial=0),
+        dict(selection="best"),
     ],
 )
 def test_invalid_rejected(kwargs):
     with pytest.raises(ValueError):
         PROPConfig(**kwargs)
+
+
+@pytest.mark.parametrize(
+    ("kwargs", "field", "value"),
+    [
+        (dict(nhops=0), "nhops", "0"),
+        (dict(init_timer=-5.0), "init_timer", "-5.0"),
+        (dict(max_timer_factor=0.25), "max_timer_factor", "0.25"),
+        (dict(max_init_trial=0), "max_init_trial", "0"),
+    ],
+)
+def test_invalid_message_names_field_and_value(kwargs, field, value):
+    """Rejections say which field failed and what value it had."""
+    with pytest.raises(ValueError, match=field) as excinfo:
+        PROPConfig(**kwargs)
+    assert value in str(excinfo.value)
+
+
+def test_max_timer_never_below_init_timer():
+    cfg = PROPConfig(init_timer=30.0, max_timer_factor=1.0)
+    assert cfg.max_timer >= cfg.init_timer
 
 
 def test_replace_overrides():

@@ -7,7 +7,6 @@ from repro.core.config import PROPConfig
 from repro.core.protocol import PROPEngine
 from repro.netsim.engine import Simulator
 from repro.netsim.rng import RngRegistry
-from repro.overlay.gnutella import GnutellaOverlay
 
 
 def _engine(overlay, policy="G", sim=None, **cfg_kwargs):

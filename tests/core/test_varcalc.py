@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.varcalc import evaluate_prop_g, select_prop_o
-from repro.overlay.base import Overlay
 
 
 def _find_trade(overlay, m=3):

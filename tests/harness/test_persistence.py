@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.config import PROPConfig
 from repro.harness.experiment import ExperimentConfig, run_experiment
-from repro.harness.persistence import load_result, result_to_dict, save_result
+from repro.harness.persistence import load_result, save_result
 
 FAST = dict(
     preset="ts-small",

@@ -61,7 +61,8 @@ def test_heterogeneous_world_runs_all_protocols():
         flood_ttl=7,
         **FAST,
     )
-    for kw in (dict(prop=PROPConfig(policy="G")), dict(prop=PROPConfig(policy="O", m=2)), dict(ltm=LTMConfig())):
+    for kw in (dict(prop=PROPConfig(policy="G")),
+               dict(prop=PROPConfig(policy="O", m=2)), dict(ltm=LTMConfig())):
         r = run_experiment(base.but(**kw))
         assert np.all(np.isfinite(r.lookup_latency))
 

@@ -5,7 +5,6 @@ Each test reruns a miniature of one evaluation figure and asserts the
 curve moves).  The full-scale series live in benchmarks/.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.config import PROPConfig

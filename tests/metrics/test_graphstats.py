@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.metrics.graphstats import GraphStats, graph_stats, hop_distance_matrix
+from repro.metrics.graphstats import graph_stats, hop_distance_matrix
 from repro.overlay.base import Overlay
 
 

@@ -1,0 +1,90 @@
+"""SimTransport delivery semantics and TransportStats bookkeeping."""
+
+import pytest
+
+from repro.net.messages import VarProbe, Walk
+from repro.net.transport import SimTransport, TransportStats
+from repro.netsim.engine import Simulator
+
+
+def _transport(overlay, **kwargs):
+    sim = Simulator()
+    return sim, SimTransport(sim, overlay, **kwargs)
+
+
+class TestDelivery:
+    def test_delivers_after_oracle_latency(self, gnutella):
+        sim, tr = _transport(gnutella)
+        seen = []
+        tr.register(1, seen.append)
+        msg = VarProbe(src=0, dst=1, cycle=1)
+        tr.send(msg)
+        sim.run()
+        assert seen == [msg]
+        assert sim.now == pytest.approx(gnutella.latency(0, 1) * 1e-3)
+
+    def test_latency_scale_zero_delivers_at_send_time_in_order(self, gnutella):
+        sim, tr = _transport(gnutella, latency_scale=0.0)
+        seen = []
+        tr.register(1, seen.append)
+        first = VarProbe(src=0, dst=1, cycle=1)
+        second = VarProbe(src=2, dst=1, cycle=2)
+        sim.schedule(5.0, tr.send, first)
+        sim.schedule(5.0, tr.send, second)
+        sim.run()
+        assert seen == [first, second]  # insertion order at one timestamp
+        assert sim.now == 5.0
+
+    def test_extra_delay_is_added(self, gnutella):
+        sim, tr = _transport(gnutella, latency_scale=0.0)
+        tr.register(1, lambda m: None)
+        tr.send(VarProbe(src=0, dst=1, cycle=1), extra_delay_ms=250.0)
+        sim.run()
+        assert sim.now == pytest.approx(0.25)
+
+    def test_unregistered_destination_still_counts_delivery(self, gnutella):
+        sim, tr = _transport(gnutella)
+        tr.send(VarProbe(src=0, dst=1, cycle=1))
+        sim.run()
+        assert tr.stats.delivered["VAR_PROBE"] == 1
+
+    def test_tap_runs_after_handler(self, gnutella):
+        sim, tr = _transport(gnutella)
+        order = []
+        tr.register(1, lambda m: order.append("handler"))
+        tr.tap = lambda m: order.append("tap")
+        tr.send(VarProbe(src=0, dst=1, cycle=1))
+        sim.run()
+        assert order == ["handler", "tap"]
+
+    def test_negative_latency_scale_rejected(self, gnutella):
+        with pytest.raises(ValueError):
+            _transport(gnutella, latency_scale=-1.0)
+
+
+class TestStats:
+    def test_send_deliver_accounting(self, gnutella):
+        sim, tr = _transport(gnutella)
+        tr.register(1, lambda m: None)
+        walk = Walk(src=0, dst=1, origin=0, ttl=1, cycle=1, path=(0,))
+        tr.send(walk)
+        tr.send(VarProbe(src=0, dst=1, cycle=1))
+        assert tr.stats.total_sent == 2
+        assert tr.stats.in_flight == 2
+        assert tr.stats.max_in_flight == 2
+        assert tr.stats.bytes_sent == walk.size_bytes() + VarProbe(
+            src=0, dst=1, cycle=1
+        ).size_bytes()
+        sim.run()
+        assert tr.stats.total_delivered == 2
+        assert tr.stats.in_flight == 0
+        assert tr.stats.max_in_flight == 2
+
+    def test_drop_accounting(self):
+        stats = TransportStats()
+        msg = VarProbe(src=0, dst=1, cycle=1)
+        stats.record_send(msg)
+        stats.record_drop(msg, "loss")
+        assert stats.total_dropped == 1
+        assert stats.drop_reasons["loss"] == 1
+        assert stats.in_flight == 0

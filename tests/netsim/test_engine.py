@@ -130,6 +130,32 @@ class TestPeriodicProcess:
         sim.run_until(100.0)
         assert ticks == [5.0, 10.0]
 
+    def test_stop_from_inside_callback_keeps_other_events_alive(self):
+        """Stopping from inside the firing cancels an already-popped event.
+
+        Regression: that cancel used to double-decrement the queue's live
+        count, so events scheduled after the process silently never ran
+        (the queue claimed to be empty) and ``run_until`` could spin
+        forever on the orphaned heap entries.
+        """
+        sim = Simulator()
+        ticks = []
+        later = []
+        proc = None
+
+        def cb():
+            ticks.append(sim.now)
+            proc.stop()  # cancels the handle of the event firing right now
+
+        proc = sim.every(5.0, cb)
+        sim.schedule(7.0, later.append, "a")
+        sim.schedule(9.0, later.append, "b")
+        sim.run_until(100.0)
+        assert ticks == [5.0]
+        assert later == ["a", "b"]
+        assert len(sim.queue) == 0
+        assert not sim.queue
+
     def test_reschedule_overrides_next_firing(self):
         sim = Simulator()
         ticks = []

@@ -34,6 +34,51 @@ def test_ties_broken_by_insertion_order():
     assert out == ["a", "b", "c"]
 
 
+def test_same_timestamp_tiebreak_survives_interleaved_pops_and_cancels():
+    """Insertion order at one timestamp is stable under queue churn.
+
+    The message transport relies on this: at ``latency_scale=0`` a whole
+    probe cascade shares one timestamp and must replay in send order
+    even while unrelated events are pushed, popped, and cancelled.
+    """
+    q = EventQueue()
+    out = []
+    early = q.push(1.0, out.append, "early")
+    q.push(2.0, out.append, "a")
+    doomed = q.push(2.0, out.append, "doomed")
+    q.push(2.0, out.append, "b")
+    ev = q.pop()  # interleaved pop of the earlier event
+    ev.callback(*ev.args)
+    q.push(2.0, out.append, "c")
+    doomed.cancel()
+    q.push(2.0, out.append, "d")
+    while q:
+        ev = q.pop()
+        ev.callback(*ev.args)
+    assert out == ["early", "a", "b", "c", "d"]
+    assert early.time == 1.0
+
+
+def test_cancel_after_pop_is_noop():
+    """A handle whose event already fired cannot corrupt the live count.
+
+    Regression: protocol code cancels its timeout handle while running
+    *inside* that timeout's callback; the double-decrement used to drive
+    ``_live`` negative, making the queue report empty with events still
+    heaped (an infinite ``run_until`` spin in the simulator).
+    """
+    q = EventQueue()
+    h = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    ev = q.pop()
+    assert ev.time == 1.0
+    assert h.cancel() is False  # already fired: dead, not cancellable
+    assert not h.pending
+    assert len(q) == 1
+    assert q
+    assert q.pop().time == 2.0
+
+
 def test_negative_time_rejected():
     q = EventQueue()
     with pytest.raises(ValueError):

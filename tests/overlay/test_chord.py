@@ -26,7 +26,8 @@ class TestConstruction:
 
     def test_fingers_sorted_by_cw_distance(self, chord):
         for i in range(chord.n_slots):
-            dists = [(int(chord.ids[j]) - int(chord.ids[i])) % chord.space for j in chord.fingers[i]]
+            dists = [(int(chord.ids[j]) - int(chord.ids[i])) % chord.space
+                     for j in chord.fingers[i]]
             assert dists == sorted(dists)
 
     def test_finger_is_successor_of_start(self, chord):
@@ -89,7 +90,8 @@ class TestRouting:
     def test_hop_count_logarithmic(self, chord):
         rng = np.random.default_rng(2)
         hops = [
-            len(chord.route(int(rng.integers(0, chord.n_slots)), int(rng.integers(0, chord.space)))) - 1
+            len(chord.route(int(rng.integers(0, chord.n_slots)),
+                            int(rng.integers(0, chord.space)))) - 1
             for _ in range(200)
         ]
         # n=64: mean hops should be around log2(64)/2 = 3, certainly < 8

@@ -85,7 +85,8 @@ class TestRouting:
     def test_hop_count_small(self, pastry):
         rng = np.random.default_rng(2)
         hops = [
-            len(pastry.route(int(rng.integers(0, pastry.n_slots)), int(rng.integers(0, pastry.space)))) - 1
+            len(pastry.route(int(rng.integers(0, pastry.n_slots)),
+                             int(rng.integers(0, pastry.space)))) - 1
             for _ in range(100)
         ]
         assert np.mean(hops) <= pastry.n_digits

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.netsim.rng import RngRegistry
-from repro.overlay.ultrapeer import ROLE_LEAF, ROLE_ULTRAPEER, UltrapeerGnutellaOverlay
+from repro.overlay.ultrapeer import ROLE_ULTRAPEER, UltrapeerGnutellaOverlay
 
 
 @pytest.fixture()

@@ -1,6 +1,5 @@
 """Analysis package: summaries, comparisons, and the CLI front-ends."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.compare import compare_results, summarize_result

@@ -1,6 +1,5 @@
 """Paired statistical comparison of replicated runs."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.stats import compare_replicated

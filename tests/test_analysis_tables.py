@@ -31,7 +31,8 @@ def study_dir(tmp_path_factory):
 
 class TestDescribe:
     def test_plain(self):
-        assert describe_config({"overlay_kind": "chord", "n_overlay": 10, "preset": "ts-large"}) == \
+        assert describe_config(
+            {"overlay_kind": "chord", "n_overlay": 10, "preset": "ts-large"}) == \
             "chord n=10 none ts-large"
 
     def test_prop_o(self):

@@ -69,6 +69,61 @@ class TestRunCommand:
             main(self.COMMON + ["--overlay", "chord", "--policy", "O"])
 
 
+class TestTransportFlags:
+    """Smoke tests for the message-plane flags on ``run``."""
+
+    COMMON = [
+        "run", "--preset", "ts-small", "--n", "60", "--policy", "G",
+        "--duration", "300", "--sample-interval", "150", "--lookups", "40",
+    ]
+
+    def test_sim_transport_run(self, capsys):
+        assert main(self.COMMON + ["--transport", "sim"]) == 0
+        out = capsys.readouterr().out
+        assert "PROP-G" in out
+        assert "messages:" in out and "dropped" in out
+
+    def test_lossy_partitioned_run(self, capsys):
+        argv = self.COMMON + ["--transport", "sim", "--loss", "0.1",
+                              "--partition", "a:b"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "messages:" in out
+        assert "loss=" in out or "partition=" in out  # some drops reported
+
+    def test_transient_partition_spec_accepted(self, capsys):
+        argv = self.COMMON + ["--transport", "sim",
+                              "--partition", "a:b@60-120"]
+        assert main(argv) == 0
+        assert "messages:" in capsys.readouterr().out
+
+    def test_loss_requires_sim_transport(self):
+        with pytest.raises(SystemExit):
+            main(self.COMMON + ["--loss", "0.1"])
+
+    def test_partition_requires_sim_transport(self):
+        with pytest.raises(SystemExit):
+            main(self.COMMON + ["--partition", "a:b"])
+
+    def test_transport_requires_prop_policy(self):
+        argv = [a for a in self.COMMON if a not in ("--policy", "G")]
+        with pytest.raises(SystemExit):
+            main(argv + ["--transport", "sim"])
+
+    def test_transport_rejects_ltm(self):
+        argv = [a for a in self.COMMON if a not in ("--policy", "G")]
+        with pytest.raises(SystemExit):
+            main(argv + ["--ltm", "--transport", "sim"])
+
+    def test_invalid_loss_surfaces_config_error(self):
+        with pytest.raises(ValueError):
+            main(self.COMMON + ["--transport", "sim", "--loss", "1.5"])
+
+    def test_malformed_partition_spec_rejected(self):
+        with pytest.raises(ValueError):
+            main(self.COMMON + ["--transport", "sim", "--partition", "oops"])
+
+
 class TestParallelExecution:
     """Smoke tests keeping the worker-pool path exercised on every run."""
 

@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.topology.presets import TS_LARGE, TS_SMALL, build_preset, preset_params, ts_large, ts_small
+from repro.topology.presets import (
+    TS_LARGE, TS_SMALL, build_preset, preset_params, ts_large, ts_small,
+)
 from repro.netsim.rng import RngRegistry
 
 

@@ -48,10 +48,14 @@ class TestParams:
     @pytest.mark.parametrize(
         "kwargs",
         [
-            dict(transit_domains=0, transit_nodes_per_domain=1, stub_domains_per_transit=1, stub_nodes_per_domain=1),
-            dict(transit_domains=1, transit_nodes_per_domain=0, stub_domains_per_transit=1, stub_nodes_per_domain=1),
-            dict(transit_domains=1, transit_nodes_per_domain=1, stub_domains_per_transit=-1, stub_nodes_per_domain=1),
-            dict(transit_domains=1, transit_nodes_per_domain=1, stub_domains_per_transit=1, stub_nodes_per_domain=0),
+            dict(transit_domains=0, transit_nodes_per_domain=1,
+                 stub_domains_per_transit=1, stub_nodes_per_domain=1),
+            dict(transit_domains=1, transit_nodes_per_domain=0,
+                 stub_domains_per_transit=1, stub_nodes_per_domain=1),
+            dict(transit_domains=1, transit_nodes_per_domain=1,
+                 stub_domains_per_transit=-1, stub_nodes_per_domain=1),
+            dict(transit_domains=1, transit_nodes_per_domain=1,
+                 stub_domains_per_transit=1, stub_nodes_per_domain=0),
         ],
     )
     def test_invalid_rejected(self, kwargs):

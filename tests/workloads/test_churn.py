@@ -57,7 +57,8 @@ class TestReplacement:
         ov, spare = _world(small_oracle)
         seen = []
         proc = ChurnProcess(
-            ov, ChurnConfig(0.0), Simulator(), np.random.default_rng(0), spare, on_replace=seen.append
+            ov, ChurnConfig(0.0), Simulator(), np.random.default_rng(0),
+            spare, on_replace=seen.append
         )
         slot = proc.replace_random_slot()
         assert seen == [slot]

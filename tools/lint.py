@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Dependency-free fallback linter for ``make lint``.
+
+The canonical linter is ruff, configured under ``[tool.ruff]`` in
+pyproject.toml; offline images that do not ship ruff run this instead
+(the Makefile picks automatically).  It implements the subset of the
+ruff selection the repo actually relies on, all from the standard
+library:
+
+* **E999** — the file must parse (``ast.parse``);
+* **F401** — unused module-level imports (``__init__.py`` re-export
+  modules are exempt, mirroring the ruff per-file ignore);
+* **W291/W293** — trailing whitespace;
+* **W292** — missing newline at end of file;
+* **E501** — lines longer than the configured limit;
+* **W191** — tabs in indentation.
+
+Exit status is the number of findings (0 = clean).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+LINE_LENGTH = 100
+ROOTS = ("src", "tests", "benchmarks", "examples", "tools")
+
+
+def iter_sources(repo: Path) -> list[Path]:
+    files: list[Path] = []
+    for root in ROOTS:
+        base = repo / root
+        if base.is_dir():
+            files.extend(sorted(base.rglob("*.py")))
+    return files
+
+
+def used_names(tree: ast.AST) -> set[str]:
+    """Every identifier the module body references, plus ``__all__`` strings."""
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "__all__" in targets and isinstance(node.value, (ast.List, ast.Tuple)):
+                used.update(
+                    elt.value for elt in node.value.elts
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                )
+    return used
+
+
+def unused_imports(tree: ast.Module) -> list[tuple[int, str]]:
+    """Module-level imports never referenced afterwards."""
+    bound: list[tuple[int, str, str]] = []  # (line, bound name, display)
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.partition(".")[0]
+                bound.append((node.lineno, name, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                name = alias.asname or alias.name
+                bound.append((node.lineno, name, alias.name))
+    used = used_names(tree)
+    return [(line, display) for line, name, display in bound
+            if name not in used]
+
+
+def lint_file(path: Path, *, init_exempt: bool) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    problems: list[str] = []
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: E999 syntax error: {exc.msg}"]
+
+    if not init_exempt:
+        for line, name in unused_imports(tree):
+            problems.append(f"{path}:{line}: F401 {name!r} imported but unused")
+
+    for i, line in enumerate(text.splitlines(), start=1):
+        if line != line.rstrip():
+            code = "W293" if not line.strip() else "W291"
+            problems.append(f"{path}:{i}: {code} trailing whitespace")
+        if len(line) > LINE_LENGTH:
+            problems.append(
+                f"{path}:{i}: E501 line too long ({len(line)} > {LINE_LENGTH})"
+            )
+        stripped = line.lstrip(" ")
+        if stripped.startswith("\t"):
+            problems.append(f"{path}:{i}: W191 tab in indentation")
+    if text and not text.endswith("\n"):
+        problems.append(f"{path}:{len(text.splitlines())}: W292 no newline at end of file")
+    return problems
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    files = iter_sources(repo)
+    problems: list[str] = []
+    for path in files:
+        problems.extend(lint_file(path, init_exempt=path.name == "__init__.py"))
+    for p in problems:
+        print(p)
+    print(f"checked {len(files)} files: "
+          f"{len(problems)} finding(s)" if problems else
+          f"checked {len(files)} files: clean", file=sys.stderr)
+    return min(len(problems), 125)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
