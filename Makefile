@@ -1,6 +1,6 @@
 # Convenience targets for the PROP reproduction.
 
-.PHONY: install test bench figures examples lint all
+.PHONY: install test bench figures examples lint analyze analyze-baseline all
 
 # ruff (configured in pyproject.toml) when available; offline images
 # fall back to the dependency-free subset checker in tools/lint.py.
@@ -11,6 +11,22 @@ lint:
 		echo "ruff not installed; using tools/lint.py fallback"; \
 		python tools/lint.py; \
 	fi
+
+# Invariant analysis (docs/analysis.md): reprolint rules D1-D6, the
+# style lint, and mypy --strict on the deterministic kernel.  reprolint
+# exits 1 on new findings and 2 on a stale baseline; ruff and mypy are
+# optional on offline images, reprolint itself is dependency-free.
+analyze:
+	python -m tools.reprolint
+	@$(MAKE) --no-print-directory lint
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy --strict -p repro.core -p repro.net -p repro.metrics; \
+	else \
+		echo "mypy not installed; skipping strict typing gate"; \
+	fi
+
+analyze-baseline:
+	python -m tools.reprolint --update-baseline
 
 install:
 	pip install -e . || python setup.py develop  # fallback: offline envs without `wheel`

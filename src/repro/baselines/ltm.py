@@ -159,7 +159,9 @@ class LTMOptimizer:
         two_hop -= nbrs
         if not two_hop:
             return
-        cand = np.fromiter(two_hop, dtype=np.intp, count=len(two_hop))
+        # sorted: argsort ties below break by position, so candidate order
+        # must not leak set-iteration order into which edges get added
+        cand = np.fromiter(sorted(two_hop), dtype=np.intp, count=len(two_hop))
         lat = overlay.latencies_from(u, cand)
         farthest_nbr = max(overlay.latencies_from(u, list(nbrs)))
         order = np.argsort(lat)

@@ -112,7 +112,7 @@ class PNSChordOverlay(ChordOverlay):
         """
         # tear down the old logical graph
         for a in range(self.n_slots):
-            for b in list(self._adj[a]):
+            for b in sorted(self._adj[a]):
                 if a < b:
                     self.remove_edge(a, b)
         self._build_fingers()

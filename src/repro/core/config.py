@@ -17,7 +17,9 @@ All constants carry the paper's names and defaults:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Any
 
 __all__ = ["PROPConfig"]
 
@@ -72,6 +74,12 @@ class PROPConfig:
     def __post_init__(self) -> None:
         if self.policy not in ("G", "O"):
             raise ValueError(f"policy must be 'G' or 'O', got {self.policy!r}")
+        if not isinstance(self.random_probe, bool):
+            raise ValueError(
+                f"random_probe must be a bool, got {self.random_probe!r}"
+            )
+        if not math.isfinite(self.min_var):
+            raise ValueError(f"min_var must be finite, got {self.min_var}")
         if self.nhops < 1:
             raise ValueError(f"nhops must be >= 1, got {self.nhops}")
         if self.m is not None and self.m < 1:
@@ -95,7 +103,7 @@ class PROPConfig:
     def max_timer(self) -> float:
         return self.max_timer_factor * self.init_timer
 
-    def replace(self, **kwargs) -> "PROPConfig":
+    def replace(self, **kwargs: Any) -> "PROPConfig":
         """Return a copy with the given fields overridden."""
         from dataclasses import replace as _replace
 

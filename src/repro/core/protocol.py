@@ -128,7 +128,9 @@ class PROPEngine:
         self.sim = sim
         self.rng = rngs.stream("prop:engine")
         self.counters = ProtocolCounters()
-        self._m_default = None if config.m is not None else overlay.min_degree()
+        self._m_default: int | None = (
+            None if config.m is not None else int(overlay.min_degree())
+        )
         self.nodes: list[NodeState] = []
         for slot in range(overlay.n_slots):
             queue = NeighborQueue(overlay.neighbor_list(slot), self.rng)
@@ -151,7 +153,10 @@ class PROPEngine:
     @property
     def m(self) -> int:
         """Effective PROP-O exchange size (config.m or δ(G) at start)."""
-        return self.config.m if self.config.m is not None else int(self._m_default)
+        if self.config.m is not None:
+            return self.config.m
+        assert self._m_default is not None  # set in __init__ when config.m is None
+        return self._m_default
 
     # -- probe cycle -------------------------------------------------------
 
@@ -255,7 +260,7 @@ class PROPEngine:
             affected = set(overlay.neighbor_list(u)) | set(overlay.neighbor_list(v))
         else:
             affected = set(moved)
-        for w in affected - {u, v}:
+        for w in sorted(affected - {u, v}):
             self.nodes[w].queue.sync(overlay.neighbor_list(w))
 
     # -- churn interface ---------------------------------------------------

@@ -22,9 +22,13 @@ Latencies are milliseconds; simulation time is seconds.
 from __future__ import annotations
 
 
+from repro.core.config import PROPConfig
 from repro.core.protocol import PROPEngine, _MAINTENANCE, _WARMUP
 from repro.core.varcalc import evaluate_prop_g, select_prop_o
 from repro.core.walk import random_walk
+from repro.netsim.engine import Simulator
+from repro.netsim.rng import RngRegistry
+from repro.overlay.base import Overlay
 
 __all__ = ["TimedPROPEngine"]
 
@@ -34,8 +38,16 @@ _MS = 1e-3  # milliseconds -> seconds
 class TimedPROPEngine(PROPEngine):
     """PROP engine whose probes take network time to complete."""
 
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
+    def __init__(
+        self,
+        overlay: Overlay,
+        config: PROPConfig,
+        sim: Simulator,
+        rngs: RngRegistry,
+        *,
+        jitter: float = 1.0,
+    ) -> None:
+        super().__init__(overlay, config, sim, rngs, jitter=jitter)
         self.stale_aborts = 0
 
     # -- probe cycle, split into launch + completion ----------------------

@@ -53,7 +53,7 @@ def _tradable(overlay: Overlay, giver: int, taker: int, forbidden: Collection[in
     (Theorem 1's connectivity guarantee), and current neighbors of the
     taker (the move would create a duplicate edge).
     """
-    out = []
+    out: list[int] = []
     for x in overlay.neighbor_list(giver):
         if x == taker or x in forbidden:
             continue

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.config import PROPConfig
 from repro.core.exchange import execute_prop_g, execute_prop_o
 from repro.core.protocol import _MAINTENANCE, _WARMUP, ExchangeRecord, PROPEngine
 from repro.core.varcalc import evaluate_prop_g, select_prop_o
@@ -53,7 +54,10 @@ from repro.net.messages import (
     Walk,
 )
 from repro.net.transport import Transport
+from repro.netsim.engine import Simulator
 from repro.netsim.events import EventHandle
+from repro.netsim.rng import RngRegistry
+from repro.overlay.base import Overlay
 
 __all__ = ["MessagePROPEngine", "NetConfig", "NetCounters"]
 
@@ -126,7 +130,7 @@ class _Prepared:
 
     xid: int
     initiator: int
-    timeout: EventHandle = field(repr=False, default=None)
+    timeout: EventHandle | None = field(repr=False, default=None)
 
 
 class MessagePROPEngine(PROPEngine):
@@ -144,10 +148,10 @@ class MessagePROPEngine(PROPEngine):
 
     def __init__(
         self,
-        overlay,
-        config,
-        sim,
-        rngs,
+        overlay: Overlay,
+        config: PROPConfig,
+        sim: Simulator,
+        rngs: RngRegistry,
         transport: Transport,
         *,
         net: NetConfig | None = None,
@@ -231,6 +235,7 @@ class MessagePROPEngine(PROPEngine):
             self._on_notify(msg)
         # VarProbe: measurement ping, absorbed (the reply is modelled as
         # free — §4.3 counts one message per collected latency)
+        # reprolint: D4-absorbed: VarProbe
 
     # -- walk forwarding ---------------------------------------------------
 
@@ -316,6 +321,8 @@ class MessagePROPEngine(PROPEngine):
         )
 
     def _prepare_message(self, cyc: _Cycle) -> ExchangePrepare:
+        # a cycle only reaches the vote stage with these fields populated
+        assert cyc.v is not None and cyc.xid is not None and cyc.var is not None
         return ExchangePrepare(
             src=cyc.u, dst=cyc.v, xid=cyc.xid, cycle=cyc.cycle,
             policy=self.config.policy, var=cyc.var,
@@ -405,6 +412,8 @@ class MessagePROPEngine(PROPEngine):
         if cyc.timeout is not None:
             cyc.timeout.cancel()
         v = cyc.v
+        # vote-stage invariant (see _prepare_message)
+        assert v is not None and cyc.xid is not None and cyc.var is not None
         cfg = self.config
         overlay = self.overlay
         if cfg.policy == "O":
@@ -491,6 +500,7 @@ class MessagePROPEngine(PROPEngine):
             )
             return
         self.net_counters.vote_timeouts += 1
+        assert cyc.v is not None  # vote-stage invariant (see _prepare_message)
         # best-effort release of a possibly-prepared participant
         self._send_control(
             ExchangeAbort(src=u, dst=cyc.v, xid=xid, reason="timeout")

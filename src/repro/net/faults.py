@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.net.messages import Message
 from repro.net.transport import Handler, Transport, TransportStats
+from repro.netsim.engine import Simulator
 
 __all__ = ["FaultyTransport", "PartitionSpec"]
 
@@ -153,7 +154,8 @@ class PartitionSpec:
             raise ValueError(
                 f"partition spec must look like 'a:b' or 'a:b@120-300', got {spec!r}"
             )
-        start = end = None
+        start: float | None = None
+        end: float | None = None
         if window:
             lo, sep, hi = window.partition("-")
             try:
@@ -170,7 +172,9 @@ class PartitionSpec:
         half = n_slots // 2
         return frozenset(range(half)), frozenset(range(half, n_slots))
 
-    def install(self, transport: FaultyTransport, sim, n_slots: int) -> None:
+    def install(
+        self, transport: FaultyTransport, sim: Simulator, n_slots: int
+    ) -> None:
         """Apply to ``transport`` now or on schedule via ``sim``."""
         a, b = self.groups(n_slots)
         if self.start is None or self.start <= sim.now:

@@ -17,6 +17,7 @@ field and per element of each slot list it carries.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import ClassVar
 
 __all__ = [
     "HEADER_BYTES",
@@ -44,7 +45,7 @@ class Message:
     dst: int
 
     #: Wire-grammar tag; subclasses override.
-    type_name = "MESSAGE"
+    type_name: ClassVar[str] = "MESSAGE"
 
     def size_bytes(self) -> int:
         """Estimated wire size: header + 4 bytes per integer payload."""
@@ -79,7 +80,7 @@ class Walk(Message):
     cycle: int
     path: tuple[int, ...]
 
-    type_name = "WALK"
+    type_name: ClassVar[str] = "WALK"
 
 
 @dataclass(frozen=True)
@@ -93,7 +94,7 @@ class VarProbe(Message):
 
     cycle: int
 
-    type_name = "VAR_PROBE"
+    type_name: ClassVar[str] = "VAR_PROBE"
 
 
 @dataclass(frozen=True)
@@ -113,7 +114,7 @@ class VarReply(Message):
     path: tuple[int, ...]
     cand_neighbors: tuple[int, ...]
 
-    type_name = "VAR_REPLY"
+    type_name: ClassVar[str] = "VAR_REPLY"
 
 
 @dataclass(frozen=True)
@@ -133,7 +134,7 @@ class ExchangePrepare(Message):
     give_u: tuple[int, ...]
     give_v: tuple[int, ...]
 
-    type_name = "EXCHANGE_PREPARE"
+    type_name: ClassVar[str] = "EXCHANGE_PREPARE"
 
 
 @dataclass(frozen=True)
@@ -147,7 +148,7 @@ class ExchangeCommit(Message):
 
     xid: int
 
-    type_name = "EXCHANGE_COMMIT"
+    type_name: ClassVar[str] = "EXCHANGE_COMMIT"
 
 
 @dataclass(frozen=True)
@@ -157,7 +158,7 @@ class ExchangeAbort(Message):
     xid: int
     reason: str
 
-    type_name = "EXCHANGE_ABORT"
+    type_name: ClassVar[str] = "EXCHANGE_ABORT"
 
 
 @dataclass(frozen=True)
@@ -173,7 +174,7 @@ class Notify(Message):
     xid: int
     commit: bool
 
-    type_name = "NOTIFY"
+    type_name: ClassVar[str] = "NOTIFY"
 
 
 #: The wire grammar: every concrete message type, by tag.

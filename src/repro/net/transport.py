@@ -43,10 +43,10 @@ DeliveryTap = Callable[[Message], None]
 class TransportStats:
     """Per-message telemetry for one transport."""
 
-    sent: Counter = field(default_factory=Counter)  # type -> count
-    delivered: Counter = field(default_factory=Counter)
-    dropped: Counter = field(default_factory=Counter)
-    drop_reasons: Counter = field(default_factory=Counter)  # reason -> count
+    sent: Counter[str] = field(default_factory=Counter)  # type -> count
+    delivered: Counter[str] = field(default_factory=Counter)
+    dropped: Counter[str] = field(default_factory=Counter)
+    drop_reasons: Counter[str] = field(default_factory=Counter)  # reason -> count
     bytes_sent: int = 0
     in_flight: int = 0
     max_in_flight: int = 0

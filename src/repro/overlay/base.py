@@ -114,8 +114,14 @@ class Overlay:
         return frozenset(self._adj[slot])
 
     def neighbor_list(self, slot: int) -> list[int]:
-        """Neighbors of ``slot`` as a list (cheap, order unspecified)."""
-        return list(self._adj[slot])
+        """Neighbors of ``slot`` as a sorted list.
+
+        Deterministic order is load-bearing: this list feeds walk
+        forwarding draws, PROP-O candidate ranking, and queue
+        synchronization, so set-iteration order must never reach a
+        protocol decision (reprolint rule D3).
+        """
+        return sorted(self._adj[slot])
 
     def degree(self, slot: int) -> int:
         return len(self._adj[slot])
@@ -173,7 +179,9 @@ class Overlay:
         if not nbrs:
             return 0.0
         emb = self.embedding
-        idx = np.fromiter(nbrs, dtype=np.intp, count=len(nbrs))
+        # order-independent: commutative sum over one matrix row; per-run
+        # order is fixed by the (seed-determined) edge insertion history
+        idx = np.fromiter(nbrs, dtype=np.intp, count=len(nbrs))  # reprolint: disable=D3
         return float(self.oracle.matrix[emb[slot], emb[idx]].sum())
 
     def mean_logical_edge_latency(self) -> float:
@@ -210,6 +218,21 @@ class Overlay:
         """Single cut-add: remove edge (old_a, old_b), insert (new_a, new_b)."""
         self.remove_edge(old_a, old_b)
         self.add_edge(new_a, new_b)
+
+    def replace_host(self, slot: int, host: int) -> int:
+        """Churn primitive: a new host takes over ``slot``; returns the
+        departed host.  The logical graph is untouched — this is the
+        leave-plus-join composition of the churn model (DESIGN.md §5)."""
+        self._check_slot(slot)
+        host = int(host)
+        if not 0 <= host < self.oracle.n:
+            raise ValueError(f"host {host} outside the oracle")
+        departed = int(self.embedding[slot])
+        if host != departed and bool(np.any(self.embedding == host)):
+            raise ValueError(f"host {host} already occupies a slot")
+        self.embedding[slot] = host
+        self.embedding_version += 1
+        return departed
 
     def host_at(self, slot: int) -> int:
         """Member-host index occupying ``slot``."""
@@ -267,7 +290,7 @@ class Overlay:
         last = self.n_slots - 1
         if slot != last:
             # move the last slot into the hole, rewriting its edges
-            for nbr in list(self._adj[last]):
+            for nbr in sorted(self._adj[last]):
                 self._adj[nbr].discard(last)
                 self._adj[nbr].add(slot)
             self._adj[slot] = self._adj[last]
@@ -299,7 +322,8 @@ class Overlay:
         adj = self._adj
         while stack:
             x = stack.pop()
-            for y in adj[x]:
+            # order-independent: BFS reachability count, no decision made
+            for y in adj[x]:  # reprolint: disable=D3
                 if not seen[y]:
                     seen[y] = 1
                     count += 1

@@ -205,7 +205,9 @@ class CANOverlay(Overlay):
         while cur != dest:
             best = None
             best_d = np.inf
-            for nb in self._adj[cur]:
+            # sorted: the strict `d < best_d` keeps the first of equally
+            # near zones, so tie-breaks must not follow set-iteration order
+            for nb in sorted(self._adj[cur]):
                 if nb in visited:
                     continue
                 d = self.point_distance_to_zone(p, nb)

@@ -150,7 +150,7 @@ class GnutellaOverlay(Overlay):
         for a, b in zip(nbrs, nbrs[1:]):
             if not self.has_edge(a, b):
                 self.add_edge(a, b)
-        for x in list(self._adj[slot]):
+        for x in sorted(self._adj[slot]):
             self.remove_edge(slot, x)
         return self.pop_slot(slot)
 

@@ -116,9 +116,7 @@ class ChurnProcess:
         slot = int(self.rng.integers(0, self.overlay.n_slots))
         i = int(self.rng.integers(0, len(self.spare)))
         newcomer = self.spare[i]
-        departed = int(self.overlay.embedding[slot])
-        self.overlay.embedding[slot] = newcomer
-        self.overlay.embedding_version += 1
+        departed = self.overlay.replace_host(slot, newcomer)
         self.spare[i] = departed
         self.events += 1
         if self.on_replace is not None:

@@ -1,0 +1,20 @@
+"""D1 fixture: wall-clock reads and unseeded randomness (all violations)."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random() + time.time()
+
+
+def legacy_draw() -> float:
+    np.random.seed(7)
+    return float(np.random.rand())
+
+
+def fresh_rng() -> float:
+    rng = np.random.default_rng()
+    return float(rng.random())

@@ -1,0 +1,11 @@
+"""D2 fixture: cross-stream RNG use inside the fault decorator."""
+
+
+class LeakyFaults:
+    def __init__(self, rngs, engine):
+        self.rng = rngs.stream("prop:engine")  # wrong stream for net.faults
+        self.engine = engine
+
+    def drop(self) -> bool:
+        # draws from the protocol engine's generator, not its own
+        return float(self.engine.rng.random()) < 0.5

@@ -1,0 +1,9 @@
+"""D3 fixture: unsorted set iteration feeding a decision path."""
+
+
+def pick(values: list[int]) -> list[int]:
+    uniq = set(values)
+    evens = [x for x in uniq if x % 2 == 0]
+    for c in {3, 1, 2}:
+        evens.append(c)
+    return list(uniq)

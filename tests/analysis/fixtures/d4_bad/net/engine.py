@@ -1,0 +1,20 @@
+"""D4 fixture: dispatcher missing the Pong arm, plus a dead arm and a
+stale absorbed marker."""
+
+from .messages import Message, Ping
+
+
+class Retired:
+    """Not part of the exported message grammar."""
+
+
+class Engine:
+    def __init__(self) -> None:
+        self.last = None
+
+    def _on_message(self, msg: Message) -> None:
+        if isinstance(msg, Ping):
+            self.last = msg
+        elif isinstance(msg, Retired):
+            self.last = None
+        # reprolint: D4-absorbed: Ghost

@@ -1,0 +1,19 @@
+"""D4 fixture: a two-message wire grammar."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Message:
+    src: int
+    dst: int
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    nonce: int
+
+
+@dataclass(frozen=True)
+class Pong(Message):
+    nonce: int

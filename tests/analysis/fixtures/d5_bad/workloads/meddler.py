@@ -1,0 +1,12 @@
+"""D5 fixture: overlay mutation outside the sanctioned modules."""
+
+
+class Meddler:
+    def __init__(self, overlay):
+        self.overlay = overlay
+
+    def wreck(self, u: int, v: int) -> None:
+        self.overlay.add_edge(u, v)
+        self.overlay.embedding[u] = v
+        self.overlay.embedding_version += 1
+        self.overlay._adj[u].add(v)

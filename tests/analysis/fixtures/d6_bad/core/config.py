@@ -1,0 +1,13 @@
+"""D6 fixture: a config field the validation path never reads."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PROPConfig:
+    nhops: int = 2
+    ghost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nhops < 1:
+            raise ValueError("nhops must be >= 1")

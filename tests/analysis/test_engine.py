@@ -1,0 +1,164 @@
+"""Engine mechanics: suppressions, baseline workflow, reporting, CLI."""
+
+import json
+from collections import Counter
+
+from tools.reprolint.__main__ import main
+from tools.reprolint.engine import (
+    Finding,
+    analyze,
+    baseline_diff,
+    load_baseline,
+    save_baseline,
+)
+
+D3_VIOLATION = "for x in {3, 1, 2}:\n    print(x)\n"
+
+
+def _core_file(tmp_path, text, name="x.py"):
+    """Lay out ``text`` as repro.core.<name> under a fixture root."""
+    (tmp_path / "core").mkdir(exist_ok=True)
+    (tmp_path / "core" / name).write_text(text, encoding="utf-8")
+    return tmp_path
+
+
+def _d3(tmp_path):
+    return [f for f in analyze(tmp_path, repo=tmp_path) if f.rule == "D3"]
+
+
+class TestSuppressions:
+    def test_unsuppressed_violation_is_reported(self, tmp_path):
+        _core_file(tmp_path, D3_VIOLATION)
+        assert len(_d3(tmp_path)) == 1
+
+    def test_same_line_suppression(self, tmp_path):
+        _core_file(tmp_path, "for x in {3, 1, 2}:  # reprolint: disable=D3\n    print(x)\n")
+        assert _d3(tmp_path) == []
+
+    def test_comment_line_above_suppression(self, tmp_path):
+        _core_file(tmp_path, "# order-independent  # reprolint: disable=D3\n" + D3_VIOLATION)
+        assert _d3(tmp_path) == []
+
+    def test_disable_all(self, tmp_path):
+        _core_file(tmp_path, "for x in {3, 1, 2}:  # reprolint: disable=all\n    print(x)\n")
+        assert _d3(tmp_path) == []
+
+    def test_multi_rule_list(self, tmp_path):
+        _core_file(
+            tmp_path,
+            "for x in {3, 1, 2}:  # reprolint: disable=D1, D3\n    print(x)\n",
+        )
+        assert _d3(tmp_path) == []
+
+    def test_other_rule_does_not_suppress(self, tmp_path):
+        _core_file(tmp_path, "for x in {3, 1, 2}:  # reprolint: disable=D1\n    print(x)\n")
+        assert len(_d3(tmp_path)) == 1
+
+    def test_trailing_comment_on_previous_statement_does_not_leak(self, tmp_path):
+        # a suppression trailing statement N must not silence line N+1
+        _core_file(tmp_path, "y = 1  # reprolint: disable=D3\n" + D3_VIOLATION)
+        assert len(_d3(tmp_path)) == 1
+
+
+class TestParseErrors:
+    def test_unparseable_module_is_an_e999_finding(self, tmp_path):
+        _core_file(tmp_path, "def broken(:\n")
+        found = analyze(tmp_path, repo=tmp_path)
+        assert [f.rule for f in found] == ["E999"]
+        assert "unparseable module" in found[0].message
+
+
+class TestBaseline:
+    def _finding(self, line=3, message="unsorted set iteration"):
+        return Finding(rule="D3", path="core/x.py", line=line, col=4, message=message)
+
+    def test_fingerprint_is_line_independent(self):
+        assert self._finding(line=3).fingerprint == self._finding(line=99).fingerprint
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [self._finding(), self._finding(line=9)])
+        counts = load_baseline(path)
+        assert counts == Counter({self._finding().fingerprint: 2})
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == Counter()
+
+    def test_diff_splits_new_and_stale(self):
+        known, novel = self._finding(), self._finding(message="other defect")
+        baseline = Counter({known.fingerprint: 1, "D9::gone.py::vanished": 1})
+        new, stale = baseline_diff([known, novel], baseline)
+        assert new == [novel]
+        assert stale == ["D9::gone.py::vanished"]
+
+    def test_diff_is_a_multiset(self):
+        f = self._finding()
+        new, stale = baseline_diff([f, f], Counter({f.fingerprint: 1}))
+        assert new == [f]  # only one occurrence is grandfathered
+        assert stale == []
+
+
+class TestCli:
+    def test_usage_error_on_bad_root(self, tmp_path, capsys):
+        assert main(["--root", str(tmp_path / "absent")]) == 3
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_new_findings_exit_1(self, tmp_path, capsys):
+        root = _core_file(tmp_path, D3_VIOLATION)
+        baseline = tmp_path / "baseline.json"
+        code = main(["--root", str(root), "--baseline", str(baseline)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "D3" in captured.out
+        assert "1 new finding(s)" in captured.err
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        root = _core_file(tmp_path, D3_VIOLATION)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--root", str(root), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        assert main(["--root", str(root), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_stale_baseline_exit_2(self, tmp_path, capsys):
+        root = _core_file(tmp_path, D3_VIOLATION)
+        baseline = tmp_path / "baseline.json"
+        main(["--root", str(root), "--baseline", str(baseline), "--update-baseline"])
+        _core_file(tmp_path, "for x in sorted({3, 1, 2}):\n    print(x)\n")
+        code = main(["--root", str(root), "--baseline", str(baseline)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "baseline is stale" in captured.err
+        assert "make analyze-baseline" in captured.err
+
+    def test_no_baseline_reports_everything(self, tmp_path, capsys):
+        root = _core_file(tmp_path, D3_VIOLATION)
+        baseline = tmp_path / "baseline.json"
+        main(["--root", str(root), "--baseline", str(baseline), "--update-baseline"])
+        code = main(["--root", str(root), "--baseline", str(baseline), "--no-baseline"])
+        capsys.readouterr()
+        assert code == 1
+
+    def test_select_restricts_rules(self, tmp_path, capsys):
+        root = _core_file(tmp_path, "import random\n" + D3_VIOLATION)
+        code = main(["--root", str(root), "--baseline", str(tmp_path / "b.json"),
+                     "--select", "D1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "D1" in captured.out
+        assert "D3" not in captured.out
+
+    def test_json_format(self, tmp_path, capsys):
+        root = _core_file(tmp_path, D3_VIOLATION)
+        code = main(["--root", str(root), "--baseline", str(tmp_path / "b.json"),
+                     "--format", "json"])
+        captured = capsys.readouterr()
+        assert code == 1
+        payload = json.loads(captured.out)
+        assert payload[0]["rule"] == "D3"
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("D1", "D2", "D3", "D4", "D5", "D6"):
+            assert rule_id in out

@@ -1,0 +1,115 @@
+"""Every reprolint rule (D1-D6) catches its known-bad fixture, and the
+real tree under ``src/repro`` is clean modulo the checked-in baseline.
+"""
+
+from pathlib import Path
+
+from tools.reprolint import analyze
+from tools.reprolint.engine import baseline_diff, load_baseline
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _findings(fixture: str, rule: str):
+    return [f for f in analyze(FIXTURES / fixture, repo=REPO) if f.rule == rule]
+
+
+class TestKnownBadFixtures:
+    def test_d1_flags_wallclock_and_unseeded_randomness(self):
+        found = _findings("d1_bad", "D1")
+        messages = " | ".join(f.message for f in found)
+        assert "stdlib `random` imported" in messages
+        assert "time.time" in messages
+        assert "np.random.seed" in messages
+        assert "np.random.rand" in messages
+        assert "unseeded `default_rng()`" in messages
+        assert len(found) == 5
+
+    def test_d2_flags_cross_stream_draws(self):
+        found = _findings("d2_bad", "D2")
+        messages = " | ".join(f.message for f in found)
+        assert "stream 'prop:engine' requested" in messages
+        assert "cross-stream draw `self.engine.rng.random()`" in messages
+        assert len(found) == 2
+
+    def test_d3_flags_unsorted_set_iteration(self):
+        found = _findings("d3_bad", "D3")
+        wheres = " | ".join(f.message for f in found)
+        assert "comprehension" in wheres  # [x for x in uniq]
+        assert "for-loop" in wheres  # for c in {3, 1, 2}
+        assert "list() argument" in wheres  # list(uniq)
+        assert len(found) == 3
+
+    def test_d4_flags_missing_dead_and_stale_arms(self):
+        found = _findings("d4_bad", "D4")
+        messages = " | ".join(f.message for f in found)
+        assert "`Pong` has no dispatch arm" in messages
+        assert "dead dispatch arm: `Retired`" in messages
+        assert "stale D4-absorbed marker: `Ghost`" in messages
+        assert len(found) == 3
+
+    def test_d5_flags_out_of_band_overlay_mutation(self):
+        found = _findings("d5_bad", "D5")
+        messages = " | ".join(f.message for f in found)
+        assert "self.overlay.add_edge" in messages
+        assert "`self.overlay.embedding`" in messages
+        assert "`self.overlay.embedding_version`" in messages
+        assert "direct neighbor-set mutation" in messages
+        assert len(found) == 4
+
+    def test_d6_flags_unvalidated_config_field(self):
+        found = _findings("d6_bad", "D6")
+        assert len(found) == 1
+        assert "`ghost` is never referenced by __post_init__" in found[0].message
+
+
+class TestDispatchMutation:
+    """The ISSUE's acceptance check: deleting one dispatch arm from a
+    copy of the real engine makes D4 fire."""
+
+    ARM = (
+        "        elif isinstance(msg, ExchangeCommit):\n"
+        "            self._on_commit(msg)\n"
+    )
+
+    def test_deleting_a_dispatch_arm_breaks_d4(self, tmp_path):
+        src_net = REPO / "src" / "repro" / "net"
+        net = tmp_path / "net"
+        net.mkdir()
+        (net / "messages.py").write_text(
+            (src_net / "messages.py").read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        engine_text = (src_net / "engine.py").read_text(encoding="utf-8")
+        assert self.ARM in engine_text, "dispatch arm shape changed; update fixture"
+        (net / "engine.py").write_text(
+            engine_text.replace(self.ARM, ""), encoding="utf-8"
+        )
+        found = [f for f in analyze(tmp_path, repo=tmp_path) if f.rule == "D4"]
+        assert any(
+            "`ExchangeCommit` has no dispatch arm" in f.message for f in found
+        )
+
+    def test_unmutated_copy_is_d4_clean(self, tmp_path):
+        src_net = REPO / "src" / "repro" / "net"
+        net = tmp_path / "net"
+        net.mkdir()
+        for name in ("messages.py", "engine.py"):
+            (net / name).write_text(
+                (src_net / name).read_text(encoding="utf-8"), encoding="utf-8"
+            )
+        assert [f for f in analyze(tmp_path, repo=tmp_path) if f.rule == "D4"] == []
+
+
+class TestRealTree:
+    def test_src_repro_is_clean_modulo_baseline(self):
+        findings = analyze(REPO / "src" / "repro", repo=REPO)
+        baseline = load_baseline(REPO / "tools" / "reprolint" / "baseline.json")
+        new, stale = baseline_diff(findings, baseline)
+        assert new == [], "\n".join(f.render() for f in new)
+        assert stale == [], "stale baseline; run `make analyze-baseline`"
+
+    def test_every_rule_registers(self):
+        from tools.reprolint import iter_rules
+
+        assert [r.id for r in iter_rules()] == ["D1", "D2", "D3", "D4", "D5", "D6"]

@@ -1,0 +1,80 @@
+"""tools/lint.py — the stdlib fallback linter behind ``make lint``."""
+
+import ast
+
+from tools.lint import LINE_LENGTH, lint_file, unused_imports, used_names
+
+
+def _lint(tmp_path, text, *, name="mod.py", init_exempt=False):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return lint_file(path, init_exempt=init_exempt)
+
+
+class TestLintFile:
+    def test_clean_file(self, tmp_path):
+        assert _lint(tmp_path, "import os\n\nprint(os.sep)\n") == []
+
+    def test_e999_syntax_error_short_circuits(self, tmp_path):
+        problems = _lint(tmp_path, "def broken(:\n")
+        assert len(problems) == 1
+        assert "E999" in problems[0]
+
+    def test_f401_unused_import(self, tmp_path):
+        problems = _lint(tmp_path, "import os\n")
+        assert len(problems) == 1
+        assert "F401" in problems[0] and "'os'" in problems[0]
+
+    def test_f401_respects_alias(self, tmp_path):
+        assert any("F401" in p for p in _lint(tmp_path, "import os as o\n"))
+        assert _lint(tmp_path, "import os as o\nprint(o.sep)\n") == []
+
+    def test_f401_dunder_all_counts_as_use(self, tmp_path):
+        text = "from os import sep\n\n__all__ = [\"sep\"]\n"
+        assert _lint(tmp_path, text) == []
+
+    def test_f401_future_and_star_imports_exempt(self, tmp_path):
+        text = "from __future__ import annotations\nfrom os import *\n"
+        assert all("F401" not in p for p in _lint(tmp_path, text))
+
+    def test_init_exemption_silences_f401_only(self, tmp_path):
+        text = "import os\nx = 1 \n"
+        problems = _lint(tmp_path, text, name="__init__.py", init_exempt=True)
+        assert all("F401" not in p for p in problems)
+        assert any("W291" in p for p in problems)
+
+    def test_w291_trailing_whitespace(self, tmp_path):
+        problems = _lint(tmp_path, "x = 1 \n")
+        assert len(problems) == 1 and "W291" in problems[0]
+
+    def test_w293_whitespace_on_blank_line(self, tmp_path):
+        problems = _lint(tmp_path, "x = 1\n \nprint(x)\n")
+        assert len(problems) == 1 and "W293" in problems[0]
+
+    def test_w292_missing_final_newline(self, tmp_path):
+        problems = _lint(tmp_path, "x = 1")
+        assert len(problems) == 1 and "W292" in problems[0]
+
+    def test_e501_long_line(self, tmp_path):
+        problems = _lint(tmp_path, "x = " + "1" * LINE_LENGTH + "\n")
+        assert len(problems) == 1 and "E501" in problems[0]
+
+    def test_w191_tab_indentation(self, tmp_path):
+        problems = _lint(tmp_path, "if True:\n\tpass\n")
+        assert len(problems) == 1 and "W191" in problems[0]
+
+    def test_empty_file_is_clean(self, tmp_path):
+        assert _lint(tmp_path, "") == []
+
+
+class TestHelpers:
+    def test_used_names_includes_annotations_and_all(self):
+        tree = ast.parse(
+            "def f(x: Seq) -> Out:\n    return g(x)\n__all__ = ['f', 'h']\n"
+        )
+        used = used_names(tree)
+        assert {"Seq", "Out", "g", "f", "h"} <= used
+
+    def test_unused_imports_reports_line_and_display_name(self):
+        tree = ast.parse("import os.path\nimport sys\nprint(sys.path)\n")
+        assert unused_imports(tree) == [(1, "os.path")]

@@ -1,0 +1,1 @@
+"""Repository tooling: the lint fallback and the reprolint analyzer."""

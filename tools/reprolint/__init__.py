@@ -1,0 +1,27 @@
+"""reprolint: AST-based invariant analyzer for the PROP reproduction.
+
+Domain-specific static analysis over ``src/repro``.  Where generic
+linters enforce style, reprolint enforces the *reproduction invariants*
+the paper's theorems and the determinism bridge rest on:
+
+* **D1** no wall-clock or unseeded randomness — every draw flows from an
+  injected seeded :class:`numpy.random.Generator`;
+* **D2** RNG-stream discipline — fault injection draws only from the
+  fault stream, protocol modules only from the protocol stream;
+* **D3** no set/dict-key iteration feeding a protocol decision without
+  an explicit ``sorted()``;
+* **D4** message-handler exhaustiveness — every message class has a
+  dispatch arm in the engine, and no dead handlers;
+* **D5** exchange atomicity — overlay neighbor structures mutate only
+  inside the overlay/exchange modules;
+* **D6** config coverage — every ``PROPConfig`` field is referenced by
+  the validation path.
+
+See ``docs/analysis.md`` for the rule catalogue, the
+``# reprolint: disable=RULE`` suppression syntax and the baseline-file
+workflow.  Run as ``python -m tools.reprolint`` (or ``make analyze``).
+"""
+
+from tools.reprolint.engine import Finding, ModuleInfo, Project, analyze, iter_rules
+
+__all__ = ["Finding", "ModuleInfo", "Project", "analyze", "iter_rules"]

@@ -1,0 +1,98 @@
+"""reprolint CLI.
+
+Usage (from the repo root)::
+
+    python -m tools.reprolint                  # analyze src/repro, text output
+    python -m tools.reprolint --format json
+    python -m tools.reprolint --update-baseline
+    python -m tools.reprolint --list-rules
+    python -m tools.reprolint --select D1,D3 --root some/tree
+
+Exit codes: 0 clean (all findings baselined), 1 new findings, 2 stale
+baseline (it lists findings that no longer occur — regenerate with
+``--update-baseline`` / ``make analyze-baseline``), 3 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.reprolint.engine import (
+    analyze,
+    baseline_diff,
+    iter_rules,
+    load_baseline,
+    save_baseline,
+    write_report,
+)
+
+DEFAULT_ROOT = "src/repro"
+DEFAULT_BASELINE = "tools/reprolint/baseline.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint", description="PROP reproduction invariant analyzer"
+    )
+    parser.add_argument("--root", default=DEFAULT_ROOT,
+                        help="package tree to analyze (default: src/repro)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="baseline file of grandfathered findings")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: report every finding")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current findings")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids (default: all)")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in iter_rules():
+            print(f"{rule.id}  {rule.name}: {rule.description}")
+        return 0
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"reprolint: analysis root {root} is not a directory", file=sys.stderr)
+        return 3
+
+    select = [s.strip() for s in args.select.split(",")] if args.select else None
+    findings = analyze(root, select=select)
+
+    if args.update_baseline:
+        save_baseline(Path(args.baseline), findings)
+        print(f"reprolint: baseline rewritten with {len(findings)} finding(s)")
+        return 0
+
+    baseline = load_baseline(Path(args.baseline)) if not args.no_baseline else None
+    if baseline is None:
+        new, stale = findings, []
+    else:
+        new, stale = baseline_diff(findings, baseline)
+
+    write_report(new, fmt=args.format)
+    if stale:
+        for fp in stale:
+            print(f"stale baseline entry (finding no longer occurs): {fp}",
+                  file=sys.stderr)
+        print(
+            f"reprolint: baseline is stale ({len(stale)} entries); regenerate "
+            "with `make analyze-baseline`",
+            file=sys.stderr,
+        )
+    n_baselined = len(findings) - len(new)
+    summary = f"reprolint: {len(new)} new finding(s), {n_baselined} baselined"
+    print(summary, file=sys.stderr)
+    if new:
+        return 1
+    if stale:
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,270 @@
+"""The reprolint rule engine.
+
+Pipeline: parse every ``*.py`` under the analysis root into a
+:class:`Project`, run each registered rule (per-module visitors and
+project-wide checks), drop findings suppressed by an inline
+``# reprolint: disable=RULE`` comment, then reconcile the remainder
+against the checked-in baseline:
+
+* a finding **not** in the baseline is *new* — reported, exit 1;
+* a baseline entry with no matching finding is *stale* — the baseline
+  shrank without being regenerated, exit 2 (``make analyze-baseline``
+  rewrites it).
+
+Baseline entries are fingerprints ``rule::path::message`` (no line
+numbers, so unrelated edits do not churn the file), stored as a
+fingerprint -> count multiset in JSON.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "analyze",
+    "baseline_diff",
+    "iter_rules",
+    "load_baseline",
+    "register",
+    "save_baseline",
+    "write_report",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+|all)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int
+    col: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline file."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class ModuleInfo:
+    """One parsed source module plus its suppression map."""
+
+    def __init__(self, path: Path, module: str, text: str, repo: Path) -> None:
+        self.path = path
+        self.module = module  # dotted name, e.g. "repro.net.faults"
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        try:
+            self.rel_path = path.resolve().relative_to(repo.resolve()).as_posix()
+        except ValueError:
+            self.rel_path = path.as_posix()
+        self._suppressions = self._scan_suppressions()
+
+    def _scan_suppressions(self) -> dict[int, frozenset[str]]:
+        out: dict[int, frozenset[str]] = {}
+        for i, line in enumerate(self.lines, start=1):
+            m = _SUPPRESS_RE.search(line)
+            if m:
+                spec = m.group(1)
+                if spec.strip() == "all":
+                    out[i] = frozenset({"all"})
+                else:
+                    out[i] = frozenset(
+                        r.strip() for r in spec.split(",") if r.strip()
+                    )
+        return out
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Is ``rule`` disabled at ``line``?
+
+        A suppression comment applies to its own line, or — when it
+        stands on a comment-only line — to the next source line below it.
+        """
+        for at in (line, line - 1):
+            rules = self._suppressions.get(at)
+            if rules is None:
+                continue
+            if at == line - 1 and not self.lines[at - 1].lstrip().startswith("#"):
+                continue  # trailing comment on the previous statement
+            if "all" in rules or rule in rules:
+                return True
+        return False
+
+    def finding(self, rule: str, node: ast.AST | int, message: str) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        col = 0 if isinstance(node, int) else getattr(node, "col_offset", 0)
+        return Finding(rule=rule, path=self.rel_path, line=line, col=col, message=message)
+
+
+class Project:
+    """All modules under one analysis root, keyed by dotted name.
+
+    The root directory itself is treated as the ``repro`` package, so a
+    fixture tree laid out like ``src/repro`` (e.g. ``fixtures/d4_bad``
+    containing ``net/messages.py``) exercises module-targeted rules
+    exactly as the real tree does.
+    """
+
+    PACKAGE = "repro"
+
+    def __init__(self, root: Path, repo: Path | None = None) -> None:
+        self.root = Path(root)
+        self.repo = Path(repo) if repo is not None else Path.cwd()
+        self.modules: dict[str, ModuleInfo] = {}
+        self.parse_errors: list[Finding] = []
+        for path in sorted(self.root.rglob("*.py")):
+            rel = path.relative_to(self.root)
+            parts = [self.PACKAGE, *rel.with_suffix("").parts]
+            if parts[-1] == "__init__":
+                parts.pop()
+            module = ".".join(parts)
+            try:
+                text = path.read_text(encoding="utf-8")
+                self.modules[module] = ModuleInfo(path, module, text, self.repo)
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                line = getattr(exc, "lineno", 1) or 1
+                self.parse_errors.append(
+                    Finding("E999", path.as_posix(), line, 0, f"unparseable module: {exc}")
+                )
+
+
+class Rule:
+    """Base class: subclass, set ``id``/``name``/``description``, override
+    :meth:`check_module` and/or :meth:`check_project`."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def iter_rules() -> list[Rule]:
+    """Registered rules in id order (importing the rules module first)."""
+    from tools.reprolint import rules as _rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def analyze(
+    root: Path | str,
+    *,
+    repo: Path | str | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run the registered rules over ``root``; suppressions applied.
+
+    ``select`` restricts to the given rule ids (default: all).  Parse
+    errors surface as unsuppressable ``E999`` findings.
+    """
+    project = Project(Path(root), Path(repo) if repo is not None else None)
+    wanted = set(select) if select is not None else None
+    findings: list[Finding] = list(project.parse_errors)
+    for rule in iter_rules():
+        if wanted is not None and rule.id not in wanted:
+            continue
+        for mod in project.modules.values():
+            for f in rule.check_module(mod):
+                if not mod.suppressed(f.rule, f.line):
+                    findings.append(f)
+        for f in rule.check_project(project):
+            mod = _module_for_path(project, f.path)
+            if mod is None or not mod.suppressed(f.rule, f.line):
+                findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _module_for_path(project: Project, rel_path: str) -> ModuleInfo | None:
+    for mod in project.modules.values():
+        if mod.rel_path == rel_path:
+            return mod
+    return None
+
+
+# -- baseline ------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> Counter[str]:
+    """Fingerprint multiset from a baseline file (empty if absent)."""
+    if not path.exists():
+        return Counter()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"malformed baseline file {path}")
+    return Counter({str(k): int(v) for k, v in data["findings"].items()})
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    counts = Counter(f.fingerprint for f in findings)
+    payload = {
+        "comment": "grandfathered reprolint findings; regenerate with `make analyze-baseline`",
+        "findings": {k: counts[k] for k in sorted(counts)},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def baseline_diff(
+    findings: Iterable[Finding], baseline: Counter[str]
+) -> tuple[list[Finding], list[str]]:
+    """Split into (new findings, stale baseline fingerprints)."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    for f in findings:
+        if remaining[f.fingerprint] > 0:
+            remaining[f.fingerprint] -= 1
+        else:
+            new.append(f)
+    stale = sorted(k for k, v in remaining.items() if v > 0 for _ in range(v))
+    return new, stale
+
+
+# -- reporting -----------------------------------------------------------
+
+
+def write_report(
+    findings: list[Finding],
+    *,
+    fmt: str = "text",
+    out: Callable[[str], None] = print,
+) -> None:
+    if fmt == "json":
+        out(json.dumps([f.__dict__ for f in findings], indent=2))
+        return
+    for f in findings:
+        out(f.render())
