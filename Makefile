@@ -1,6 +1,6 @@
 # Convenience targets for the PROP reproduction.
 
-.PHONY: install test bench figures examples lint analyze analyze-baseline all
+.PHONY: install test bench bench-obs figures examples report lint analyze analyze-baseline all
 
 # ruff (configured in pyproject.toml) when available; offline images
 # fall back to the dependency-free subset checker in tools/lint.py.
@@ -12,7 +12,7 @@ lint:
 		python tools/lint.py; \
 	fi
 
-# Invariant analysis (docs/analysis.md): reprolint rules D1-D6, the
+# Invariant analysis (docs/analysis.md): reprolint rules D1-D7, the
 # style lint, and mypy --strict on the deterministic kernel.  reprolint
 # exits 1 on new findings and 2 on a stale baseline; ruff and mypy are
 # optional on offline images, reprolint itself is dependency-free.
@@ -37,8 +37,23 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only
 
+# Tracing overhead on the Fig. 5 Gnutella workload: NullTracer vs full
+# tracing, best-of-3, written to BENCH_obs.json (docs/observability.md).
+bench-obs:
+	PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
 figures: bench
 	@echo "regenerated series are under benchmarks/output/"
+
+# One traced run -> RunReport JSON -> markdown rendering, the
+# docs/observability.md end-to-end path.
+report:
+	PYTHONPATH=src python -m repro run --preset ts-small --n 100 --policy G \
+		--duration 600 --sample-interval 300 --lookups 50 \
+		--report benchmarks/output/run_report.json
+	PYTHONPATH=src python -m repro.obs render benchmarks/output/run_report.json \
+		-o benchmarks/output/run_report.md
+	@echo "rendered benchmarks/output/run_report.md"
 
 examples:
 	python examples/quickstart.py

@@ -102,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--save", type=str, default=None, metavar="PATH",
                      help="save the result to this JSON file")
 
+    obs = run.add_argument_group("observability")
+    obs.add_argument("--trace", type=str, default=None, metavar="PATH",
+                     help="record structured protocol/message events to this "
+                          "JSONL file (analyze with 'python -m repro.obs')")
+    obs.add_argument("--report", type=str, default=None, metavar="PATH",
+                     help="write a per-run report (config fingerprint, metrics, "
+                          "phase breakdown) to this JSON file")
+    obs.add_argument("--profile", action="store_true",
+                     help="profile wall-clock time per harness stage")
+
     sub.add_parser("presets", help="list the physical topology presets")
 
     show = sub.add_parser("show", help="summarize a saved result")
@@ -163,6 +173,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         transport=transport,
         loss=args.loss,
         partitions=tuple(args.partition or ()),
+        trace=args.trace is not None or args.report is not None,
     )
 
 
@@ -192,6 +203,8 @@ def _cmd_run_replicated(args: argparse.Namespace, config: ExperimentConfig,
 
     if args.save:
         raise SystemExit("error: --save stores a single result; drop --seeds")
+    if args.trace or args.report:
+        raise SystemExit("error: --trace/--report record a single run; drop --seeds")
     print(
         f"replicating {config.overlay_kind} n={config.n_overlay} on {config.preset} "
         f"with optimizer={label} over {len(seeds)} seeds "
@@ -236,9 +249,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # `--workers` smoke-tests the parallel path end to end.
         from repro.harness.sweep import run_sweep
 
-        result = run_sweep({label: config}, workers=args.workers)[label]
+        result = run_sweep(
+            {label: config}, workers=args.workers, profile=args.profile
+        )[label]
     else:
-        result = run_experiment(config)
+        profiler = None
+        if args.profile:
+            from repro.harness.profiler import StageProfiler
+
+            profiler = StageProfiler()
+        result = run_experiment(config, profiler=profiler)
     print(
         format_series(
             f"{config.overlay_kind} / {label}",
@@ -253,18 +273,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if result.final_counters is not None:
         print(f"\nprobes/rounds: {result.probes[-1]}  "
               f"exchanges/ops: {result.exchanges[-1]}")
-    if result.net_stats is not None:
-        stats = result.net_stats
-        line = (f"messages: {stats.total_sent} sent, "
-                f"{stats.total_delivered} delivered, "
-                f"{stats.total_dropped} dropped")
-        if stats.drop_reasons:
-            reasons = ", ".join(f"{k}={v}"
-                                for k, v in sorted(stats.drop_reasons.items()))
-            line += f" ({reasons})"
-        print(line)
+    if result.net_stats is not None or result.net_counters is not None:
+        # one merged net-plane table sourced from the unified registry —
+        # wire telemetry (transport.*) and protocol-visible fault
+        # outcomes (net.*) each appear exactly once
+        from repro.obs.registry import (
+            NET_TABLE_COLUMNS,
+            net_summary_rows,
+            registry_from_result,
+        )
+
+        rows = net_summary_rows(registry_from_result(result))
+        if rows:
+            print()
+            print(format_table(list(NET_TABLE_COLUMNS), rows))
     print(f"lookup latency: {result.initial_lookup_latency:.1f} ms -> "
           f"{result.final_lookup_latency:.1f} ms")
+    if result.profile:
+        rows = [[name, f"{seconds:.3f}"]
+                for name, seconds in sorted(result.profile.items())]
+        print()
+        print(format_table(["stage", "wall seconds"], rows))
+    if args.trace:
+        from pathlib import Path
+
+        from repro.obs.events import events_to_jsonl
+
+        trace_path = Path(args.trace)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        trace_path.write_text(events_to_jsonl(result.trace or []), encoding="utf-8")
+        print(f"wrote {len(result.trace or [])} events to {trace_path}",
+              file=sys.stderr)
+    if args.report:
+        from repro.obs.report import build_run_report, save_report
+
+        path = save_report(build_run_report(result), args.report)
+        print(f"wrote run report to {path}", file=sys.stderr)
     if args.save:
         from repro.harness.persistence import save_result
 

@@ -33,6 +33,8 @@ from repro.core.varcalc import evaluate_prop_g, select_prop_o
 from repro.core.walk import random_walk
 from repro.netsim.engine import Simulator
 from repro.netsim.rng import RngRegistry
+from repro.obs.events import ExchangeCommitEvent, ProbeEvent, VarCollectEvent
+from repro.obs.trace import NULL_TRACER, TracerLike
 from repro.overlay.base import Overlay
 
 __all__ = ["PROPEngine", "ProtocolCounters", "NodeState"]
@@ -105,6 +107,9 @@ class PROPEngine:
         Nodes start their first probe uniformly inside
         ``[0, jitter * init_timer)`` to avoid a synchronized thundering
         herd (real deployments join at different times).
+    tracer:
+        Event sink for the observability plane; defaults to the
+        zero-cost :data:`~repro.obs.trace.NULL_TRACER`.
     """
 
     def __init__(
@@ -115,6 +120,7 @@ class PROPEngine:
         rngs: RngRegistry,
         *,
         jitter: float = 1.0,
+        tracer: TracerLike | None = None,
     ) -> None:
         if config.policy == "O" and not overlay.supports_rewiring:
             raise ValueError(
@@ -127,6 +133,7 @@ class PROPEngine:
         self.config = config
         self.sim = sim
         self.rng = rngs.stream("prop:engine")
+        self.tracer: TracerLike = tracer if tracer is not None else NULL_TRACER
         self.counters = ProtocolCounters()
         self._m_default: int | None = (
             None if config.m is not None else int(overlay.min_degree())
@@ -191,6 +198,8 @@ class PROPEngine:
             return False
         s = state.queue.select()
         self.counters.probes += 1
+        if self.tracer.enabled:
+            self.tracer.emit(ProbeEvent, u=u, s=s, cycle=self.counters.probes)
 
         if cfg.random_probe:
             v = int(self.rng.integers(0, overlay.n_slots - 1))
@@ -239,6 +248,13 @@ class PROPEngine:
             )
 
         self.counters.var_history.append(var)
+        if self.tracer.enabled:
+            self.tracer.emit(VarCollectEvent, u=u, v=v, cycle=self.counters.probes,
+                             var=float(var), policy=cfg.policy)
+            if success:
+                # inline engines commit instantaneously: no 2PC, xid=-1
+                self.tracer.emit(ExchangeCommitEvent, xid=-1, u=u, v=v,
+                                 var=float(var), traded=traded)
         if success:
             self.counters.exchanges += 1
             state.queue.on_success(s)

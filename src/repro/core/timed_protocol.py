@@ -28,6 +28,13 @@ from repro.core.varcalc import evaluate_prop_g, select_prop_o
 from repro.core.walk import random_walk
 from repro.netsim.engine import Simulator
 from repro.netsim.rng import RngRegistry
+from repro.obs.events import (
+    ExchangeAbortEvent,
+    ExchangeCommitEvent,
+    ProbeEvent,
+    VarCollectEvent,
+)
+from repro.obs.trace import TracerLike
 from repro.overlay.base import Overlay
 
 __all__ = ["TimedPROPEngine"]
@@ -46,8 +53,9 @@ class TimedPROPEngine(PROPEngine):
         rngs: RngRegistry,
         *,
         jitter: float = 1.0,
+        tracer: TracerLike | None = None,
     ) -> None:
-        super().__init__(overlay, config, sim, rngs, jitter=jitter)
+        super().__init__(overlay, config, sim, rngs, jitter=jitter, tracer=tracer)
         self.stale_aborts = 0
 
     # -- probe cycle, split into launch + completion ----------------------
@@ -62,6 +70,9 @@ class TimedPROPEngine(PROPEngine):
             return
         s = state.queue.select()
         self.counters.probes += 1
+        cycle = self.counters.probes
+        if self.tracer.enabled:
+            self.tracer.emit(ProbeEvent, u=u, s=s, cycle=cycle)
 
         if cfg.random_probe:
             v = int(self.rng.integers(0, overlay.n_slots - 1))
@@ -106,10 +117,13 @@ class TimedPROPEngine(PROPEngine):
             )
 
         delay_s = (walk_ms + collect_ms) * _MS
-        self.sim.schedule(delay_s, self._complete_probe, u, v, s, tuple(path), launch_var)
+        self.sim.schedule(
+            delay_s, self._complete_probe, u, v, s, tuple(path), launch_var, cycle
+        )
 
     def _complete_probe(
-        self, u: int, v: int, s: int, path: tuple[int, ...], launch_var: float
+        self, u: int, v: int, s: int, path: tuple[int, ...], launch_var: float,
+        cycle: int = -1,
     ) -> None:
         """The decision point: re-evaluate on the *current* world."""
         overlay = self.overlay
@@ -138,6 +152,14 @@ class TimedPROPEngine(PROPEngine):
                 self._after_exchange(u, v, moved=give_u + give_v)
                 success = True
         self.counters.var_history.append(var)
+        if self.tracer.enabled:
+            self.tracer.emit(VarCollectEvent, u=u, v=v, cycle=cycle,
+                             var=float(var), policy=cfg.policy)
+            if success:
+                self.tracer.emit(ExchangeCommitEvent, xid=-1, u=u, v=v,
+                                 var=float(var), traded=traded)
+            elif launch_var > cfg.min_var:
+                self.tracer.emit(ExchangeAbortEvent, xid=-1, u=u, v=v, reason="stale")
         if success:
             from repro.core.protocol import ExchangeRecord
 

@@ -31,6 +31,7 @@ from repro.net.faults import FaultyTransport, PartitionSpec
 from repro.net.transport import SimTransport
 from repro.netsim.engine import Simulator
 from repro.netsim.rng import RngRegistry
+from repro.obs.trace import Tracer
 from repro.overlay.base import Overlay
 from repro.overlay.can import CANOverlay
 from repro.overlay.chord import ChordOverlay
@@ -95,6 +96,8 @@ class ExperimentConfig:
     partitions: tuple[str, ...] = ()  # PartitionSpec strings, e.g. "a:b@120-300"
     latency_scale: float = 1.0
     net: NetConfig | None = None
+    # observability
+    trace: bool = False  # collect structured events (repro.obs)
     # measurement
     duration: float = 1800.0
     sample_interval: float = 120.0
@@ -164,6 +167,7 @@ class World:
     churn: ChurnProcess | None
     spare_hosts: list[int]
     transport: SimTransport | FaultyTransport | None = None
+    tracer: Tracer | None = None
 
 
 @dataclass
@@ -188,6 +192,8 @@ class ExperimentResult:
     final_counters: Any
     net_stats: Any = None  # TransportStats when run over a message transport
     net_counters: Any = None  # NetCounters (timeouts/retries) likewise
+    trace: Any = None  # list[repro.obs.events.Event] when config.trace
+    profile: Any = None  # dict[str, float] wall-clock stage timings (opt-in)
 
     @property
     def initial_lookup_latency(self) -> float:
@@ -246,18 +252,21 @@ def build_world(config: ExperimentConfig) -> World:
     overlay = _build_overlay(config, oracle, overlay_embedding, het, rngs)
 
     sim = Simulator()
+    tracer: Tracer | None = None
+    if config.trace:
+        tracer = Tracer(clock=lambda: sim.now)
     engine: PROPEngine | None = None
     ltm: LTMOptimizer | None = None
     transport: SimTransport | FaultyTransport | None = None
     if config.prop is not None:
         if config.transport is not None:
-            transport = _build_transport(config, sim, overlay, rngs)
+            transport = _build_transport(config, sim, overlay, rngs, tracer)
             engine = MessagePROPEngine(
                 overlay, config.prop, sim, rngs, transport,
-                net=config.net,
+                net=config.net, tracer=tracer,
             )
         else:
-            engine = PROPEngine(overlay, config.prop, sim, rngs)
+            engine = PROPEngine(overlay, config.prop, sim, rngs, tracer=tracer)
         engine.start()
     elif config.ltm is not None:
         ltm = LTMOptimizer(overlay, config.ltm, sim, rngs)
@@ -273,6 +282,7 @@ def build_world(config: ExperimentConfig) -> World:
             rngs.stream("churn"),
             spare_hosts,
             on_replace=on_replace,
+            tracer=tracer,
         )
         churn.start()
 
@@ -292,6 +302,7 @@ def build_world(config: ExperimentConfig) -> World:
         churn=churn,
         spare_hosts=spare_hosts,
         transport=transport,
+        tracer=tracer,
     )
 
 
@@ -300,9 +311,10 @@ def _build_transport(
     sim: Simulator,
     overlay: Overlay,
     rngs: RngRegistry,
+    tracer: Tracer | None = None,
 ) -> SimTransport | FaultyTransport:
     """The message plane: SimTransport, fault-wrapped when faults are on."""
-    base = SimTransport(sim, overlay, latency_scale=config.latency_scale)
+    base = SimTransport(sim, overlay, latency_scale=config.latency_scale, tracer=tracer)
     specs = [PartitionSpec.parse(s) for s in config.partitions]
     faulty = (
         config.loss or config.extra_delay_ms or config.net_jitter_ms
@@ -417,13 +429,28 @@ def _sample_lookup_latency(world: World) -> tuple[float, float]:
     raise AssertionError("unknown overlay type")
 
 
-def run_experiment(config: ExperimentConfig, *, measure_lookups: bool = True) -> ExperimentResult:
+def run_experiment(
+    config: ExperimentConfig,
+    *,
+    measure_lookups: bool = True,
+    profiler: Any = None,
+) -> ExperimentResult:
     """Run the deployment and sample metrics every ``sample_interval``.
 
     The ``times[0]`` sample is taken *before* any protocol activity, so
     series are directly interpretable as improvement-over-initial.
+    ``profiler`` is an optional
+    :class:`~repro.harness.profiler.StageProfiler`; when given, the
+    wall-clock split between world building, event processing, and
+    metric sampling lands in the result's ``profile`` field.
     """
-    world = build_world(config)
+    from contextlib import nullcontext
+
+    def _stage(name: str):
+        return profiler.stage(name) if profiler is not None else nullcontext()
+
+    with _stage("build_world"):
+        world = build_world(config)
     n_samples = int(np.floor(config.duration / config.sample_interval)) + 1
     times = np.arange(n_samples) * config.sample_interval
 
@@ -435,12 +462,16 @@ def run_experiment(config: ExperimentConfig, *, measure_lookups: bool = True) ->
     exchanges = np.zeros(n_samples, dtype=np.int64)
 
     for i, t in enumerate(times):
-        world.sim.run_until(float(t))
-        link_stretch_series[i] = stretch_metric(world.overlay)
-        if measure_lookups:
-            mean_lookup, mean_direct = _sample_lookup_latency(world)
-            lookup_series[i] = mean_lookup
-            stretch_series[i] = mean_lookup / mean_direct if mean_direct > 0 else np.nan
+        with _stage("simulate"):
+            world.sim.run_until(float(t))
+        with _stage("sample"):
+            link_stretch_series[i] = stretch_metric(world.overlay)
+            if measure_lookups:
+                mean_lookup, mean_direct = _sample_lookup_latency(world)
+                lookup_series[i] = mean_lookup
+                stretch_series[i] = (
+                    mean_lookup / mean_direct if mean_direct > 0 else np.nan
+                )
         if world.engine is not None:
             probes[i] = world.engine.counters.probes
             messages[i] = world.engine.counters.total_messages
@@ -450,6 +481,10 @@ def run_experiment(config: ExperimentConfig, *, measure_lookups: bool = True) ->
             messages[i] = world.ltm.counters.detector_messages
             exchanges[i] = world.ltm.counters.cuts + world.ltm.counters.adds
 
+    if isinstance(world.engine, MessagePROPEngine):
+        # exchanges still awaiting votes when the run ends are recorded
+        # as aborted so the trace has no half-open 2PC timelines
+        world.engine.finalize_trace()
     final = world.engine.counters if world.engine is not None else (
         world.ltm.counters if world.ltm is not None else None
     )
@@ -468,4 +503,6 @@ def run_experiment(config: ExperimentConfig, *, measure_lookups: bool = True) ->
             world.engine.net_counters
             if isinstance(world.engine, MessagePROPEngine) else None
         ),
+        trace=world.tracer.events if world.tracer is not None else None,
+        profile=dict(profiler.timings) if profiler is not None else None,
     )

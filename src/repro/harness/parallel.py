@@ -103,7 +103,8 @@ def _emit(progress: ProgressCallback | None, event: TaskEvent) -> None:
 
 
 def _run_serial(
-    tasks: Sequence[Task], progress: ProgressCallback | None
+    tasks: Sequence[Task], progress: ProgressCallback | None,
+    timings: dict[str, float] | None = None,
 ) -> dict[str, Any]:
     results: dict[str, Any] = {}
     for task in tasks:
@@ -111,7 +112,10 @@ def _run_serial(
         _emit(progress, TaskEvent(task.label, "start"))
         results[task.label] = task.fn(*task.args, **task.kwargs)
         # wall-clock subprocess timing  # reprolint: disable=D1
-        _emit(progress, TaskEvent(task.label, "done", time.monotonic() - started))
+        elapsed = time.monotonic() - started
+        if timings is not None:
+            timings[task.label] = elapsed
+        _emit(progress, TaskEvent(task.label, "done", elapsed))
     return results
 
 
@@ -140,6 +144,7 @@ def run_tasks(
     task_timeout: float | None = None,
     max_retries: int = 1,
     mp_context: Any | None = None,
+    timings: dict[str, float] | None = None,
 ) -> dict[str, Any]:
     """Execute independent tasks, optionally across worker processes.
 
@@ -166,6 +171,9 @@ def run_tasks(
         deterministic and propagate immediately.
     mp_context:
         Optional ``multiprocessing`` context (e.g. for ``spawn`` starts).
+    timings:
+        Optional out-parameter: filled with ``label -> wall seconds``
+        from first start to completion (includes any retries).
 
     Returns
     -------
@@ -187,7 +195,7 @@ def run_tasks(
     # but its size never exceeds the task count.
     requested = int(workers) if workers is not None and workers > 0 else (os.cpu_count() or 1)
     if requested <= 1:
-        return _run_serial(tasks, progress)
+        return _run_serial(tasks, progress, timings)
     n_workers = effective_workers(requested, len(tasks))
 
     results: dict[str, Any] = {}
@@ -203,7 +211,7 @@ def run_tasks(
         except Exception:
             # Platform cannot run worker processes at all: degrade to the
             # serial path for everything still outstanding.
-            serial = _run_serial(pending, progress)
+            serial = _run_serial(pending, progress, timings)
             results.update(serial)
             break
 
@@ -224,10 +232,11 @@ def run_tasks(
                 if future.done() and not future.cancelled():
                     try:
                         results[task.label] = future.result(timeout=0)
-                        _emit(progress, TaskEvent(
-                            task.label, "done",
-                            time.monotonic() - first_start[task.label],  # reprolint: disable=D1
-                        ))
+                        # wall-clock subprocess timing  # reprolint: disable=D1
+                        elapsed = time.monotonic() - first_start[task.label]
+                        if timings is not None:
+                            timings[task.label] = elapsed
+                        _emit(progress, TaskEvent(task.label, "done", elapsed))
                         continue
                     except Exception:
                         pass
@@ -235,10 +244,11 @@ def run_tasks(
                 continue
             try:
                 results[task.label] = future.result(timeout=task_timeout)
-                _emit(progress, TaskEvent(
-                    # wall-clock subprocess timing  # reprolint: disable=D1
-                    task.label, "done", time.monotonic() - first_start[task.label]
-                ))
+                # wall-clock subprocess timing  # reprolint: disable=D1
+                elapsed = time.monotonic() - first_start[task.label]
+                if timings is not None:
+                    timings[task.label] = elapsed
+                _emit(progress, TaskEvent(task.label, "done", elapsed))
             except FutureTimeoutError:
                 failure = f"no result within {task_timeout:.0f}s"
                 abandoned = True

@@ -19,9 +19,16 @@ from repro.harness.parallel import ProgressCallback, Task, run_tasks
 __all__ = ["run_sweep"]
 
 
-def _sweep_task(config: ExperimentConfig, measure_lookups: bool) -> ExperimentResult:
+def _sweep_task(
+    config: ExperimentConfig, measure_lookups: bool, profile: bool = False
+) -> ExperimentResult:
     """Module-level task body so worker processes can unpickle it."""
-    return run_experiment(config, measure_lookups=measure_lookups)
+    profiler = None
+    if profile:
+        from repro.harness.profiler import StageProfiler
+
+        profiler = StageProfiler()
+    return run_experiment(config, measure_lookups=measure_lookups, profiler=profiler)
 
 
 def run_sweep(
@@ -32,15 +39,19 @@ def run_sweep(
     progress: ProgressCallback | None = None,
     task_timeout: float | None = None,
     max_retries: int = 1,
+    profile: bool = False,
 ) -> dict[str, ExperimentResult]:
     """Run every labelled config; returns results in the same order.
 
     ``progress`` receives structured
     :class:`~repro.harness.parallel.TaskEvent` notifications (label,
     status, elapsed) as each config starts, finishes, or is retried.
+    With ``profile=True`` each result carries its worker's wall-clock
+    stage timings (merge across results with
+    :func:`repro.harness.profiler.merge_profiles`).
     """
     tasks = [
-        Task(label, _sweep_task, (cfg, measure_lookups))
+        Task(label, _sweep_task, (cfg, measure_lookups, profile))
         for label, cfg in configs.items()
     ]
     return run_tasks(

@@ -57,6 +57,16 @@ from repro.net.transport import Transport
 from repro.netsim.engine import Simulator
 from repro.netsim.events import EventHandle
 from repro.netsim.rng import RngRegistry
+from repro.obs.events import (
+    ExchangeAbortEvent,
+    ExchangeCommitEvent,
+    ExchangePrepareEvent,
+    ExchangeTimeoutEvent,
+    MsgTimeoutEvent,
+    ProbeEvent,
+    VarCollectEvent,
+)
+from repro.obs.trace import TracerLike
 from repro.overlay.base import Overlay
 
 __all__ = ["MessagePROPEngine", "NetConfig", "NetCounters"]
@@ -156,8 +166,9 @@ class MessagePROPEngine(PROPEngine):
         *,
         net: NetConfig | None = None,
         jitter: float = 1.0,
+        tracer: TracerLike | None = None,
     ) -> None:
-        super().__init__(overlay, config, sim, rngs, jitter=jitter)
+        super().__init__(overlay, config, sim, rngs, jitter=jitter, tracer=tracer)
         self.transport = transport
         self.net = net if net is not None else NetConfig()
         self.net_counters = NetCounters()
@@ -202,6 +213,8 @@ class MessagePROPEngine(PROPEngine):
         s = state.queue.select()
         self.counters.probes += 1
         self._cycle_seq += 1
+        if self.tracer.enabled:
+            self.tracer.emit(ProbeEvent, u=u, s=s, cycle=self._cycle_seq)
         cyc = _Cycle(cycle=self._cycle_seq, u=u, s=s, fire_time=fire)
         self._cycles[u] = cyc
         cyc.timeout = self.sim.schedule(
@@ -309,12 +322,18 @@ class MessagePROPEngine(PROPEngine):
             cyc.give_u, cyc.give_v = tuple(give_u), tuple(give_v)
             wants = bool(give_u) and var > cfg.min_var
         cyc.var = var
+        if self.tracer.enabled:
+            self.tracer.emit(VarCollectEvent, u=u, v=v, cycle=cyc.cycle,
+                             var=float(var), policy=cfg.policy)
         if not wants:
             self._resolve(cyc, success=False)
             return
         self._xid_seq += 1
         cyc.xid = self._xid_seq
         cyc.stage = "vote"
+        if self.tracer.enabled:
+            self.tracer.emit(ExchangePrepareEvent, xid=cyc.xid, u=u, v=v,
+                             var=float(var))
         self._send_control(self._prepare_message(cyc))
         cyc.timeout = self.sim.schedule(
             self.net.vote_timeout, self._vote_timeout, u, cyc.xid
@@ -424,6 +443,9 @@ class MessagePROPEngine(PROPEngine):
                 self._send_control(
                     ExchangeAbort(src=u, dst=v, xid=cyc.xid, reason="stale-apply")
                 )
+                if self.tracer.enabled:
+                    self.tracer.emit(ExchangeAbortEvent, xid=cyc.xid, u=u, v=v,
+                                     reason="stale-apply")
                 self._resolve(cyc, success=False)
                 return
             traded = len(cyc.give_u)
@@ -447,6 +469,9 @@ class MessagePROPEngine(PROPEngine):
             ExchangeRecord(time=self.sim.now, u=u, v=v, var=cyc.var,
                            policy=cfg.policy, traded=traded)
         )
+        if self.tracer.enabled:
+            self.tracer.emit(ExchangeCommitEvent, xid=cyc.xid, u=u, v=v,
+                             var=float(cyc.var), traded=traded)
         self._resolve(cyc, success=True)
 
     # -- outcome delivery ---------------------------------------------------
@@ -457,6 +482,9 @@ class MessagePROPEngine(PROPEngine):
         if cyc is not None and cyc.xid == msg.xid and cyc.stage == "vote":
             if cyc.timeout is not None:
                 cyc.timeout.cancel()
+            if self.tracer.enabled:
+                self.tracer.emit(ExchangeAbortEvent, xid=msg.xid, u=here,
+                                 v=msg.src, reason=msg.reason)
             self._resolve(cyc, success=False)
             return
         prep = self._prepared.get(here)
@@ -485,6 +513,8 @@ class MessagePROPEngine(PROPEngine):
         if cyc is None or cyc.cycle != cycle or cyc.stage != "walk":
             return
         self.net_counters.walk_timeouts += 1
+        if self.tracer.enabled:
+            self.tracer.emit(MsgTimeoutEvent, kind="walk", u=u, tag=cycle)
         self._resolve(cyc, success=False)
 
     def _vote_timeout(self, u: int, xid: int) -> None:
@@ -494,6 +524,8 @@ class MessagePROPEngine(PROPEngine):
         if cyc.retries < self.net.max_prepare_retries:
             cyc.retries += 1
             self.net_counters.prepare_retries += 1
+            if self.tracer.enabled:
+                self.tracer.emit(MsgTimeoutEvent, kind="vote-retry", u=u, tag=xid)
             self._send_control(self._prepare_message(cyc))
             cyc.timeout = self.sim.schedule(
                 self.net.vote_timeout, self._vote_timeout, u, xid
@@ -501,6 +533,8 @@ class MessagePROPEngine(PROPEngine):
             return
         self.net_counters.vote_timeouts += 1
         assert cyc.v is not None  # vote-stage invariant (see _prepare_message)
+        if self.tracer.enabled:
+            self.tracer.emit(ExchangeTimeoutEvent, xid=xid, u=u, v=cyc.v)
         # best-effort release of a possibly-prepared participant
         self._send_control(
             ExchangeAbort(src=u, dst=cyc.v, xid=xid, reason="timeout")
@@ -553,11 +587,30 @@ class MessagePROPEngine(PROPEngine):
 
     # -- churn interface ----------------------------------------------------
 
+    def finalize_trace(self) -> None:
+        """End-of-run: record still-unresolved exchanges as aborted.
+
+        A vote-stage cycle whose outcome the simulation never reached
+        would otherwise look half-open in the trace; the run ending is
+        an abort for accounting purposes (the overlay never mutated).
+        """
+        if not self.tracer.enabled:
+            return
+        for u in sorted(self._cycles):
+            cyc = self._cycles[u]
+            if cyc.stage == "vote" and cyc.xid is not None and cyc.v is not None:
+                self.tracer.emit(ExchangeAbortEvent, xid=cyc.xid, u=u, v=cyc.v,
+                                 reason="end-of-run")
+
     def reset_slot(self, slot: int) -> None:
         """Churn replacement: drop in-flight message state, then restart."""
         cyc = self._cycles.pop(slot, None)
         if cyc is not None and cyc.timeout is not None:
             cyc.timeout.cancel()
+        if (cyc is not None and cyc.stage == "vote" and self.tracer.enabled
+                and cyc.xid is not None and cyc.v is not None):
+            self.tracer.emit(ExchangeAbortEvent, xid=cyc.xid, u=slot, v=cyc.v,
+                             reason="churn")
         prep = self._prepared.pop(slot, None)
         if prep is not None and prep.timeout is not None:
             prep.timeout.cancel()

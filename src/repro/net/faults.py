@@ -30,8 +30,10 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.net.messages import Message
-from repro.net.transport import Handler, Transport, TransportStats
+from repro.net.transport import Handler, Transport, TransportStats, trace_tag
 from repro.netsim.engine import Simulator
+from repro.obs.events import MsgDropEvent, MsgSendEvent
+from repro.obs.trace import NULL_TRACER, TracerLike
 
 __all__ = ["FaultyTransport", "PartitionSpec"]
 
@@ -70,6 +72,10 @@ class FaultyTransport:
     @property
     def stats(self) -> TransportStats:
         return self.inner.stats
+
+    @property
+    def tracer(self) -> TracerLike:
+        return getattr(self.inner, "tracer", NULL_TRACER)
 
     @property
     def partitions(self) -> dict[str, tuple[frozenset[int], frozenset[int]]]:
@@ -113,11 +119,13 @@ class FaultyTransport:
         if self._severed(msg.src, msg.dst):
             stats.record_send(msg)
             stats.record_drop(msg, "partition")
+            self._trace_drop(msg, "partition")
             return
         p = self._loss_for(msg.src, msg.dst)
         if p > 0.0 and float(self.rng.random()) < p:
             stats.record_send(msg)
             stats.record_drop(msg, "loss")
+            self._trace_drop(msg, "loss")
             return
         delay = extra_delay_ms + self.extra_delay_ms
         if self.jitter_ms > 0.0:
@@ -125,6 +133,17 @@ class FaultyTransport:
         if self.reorder_prob > 0.0 and float(self.rng.random()) < self.reorder_prob:
             delay += float(self.rng.random()) * self.reorder_ms
         self.inner.send(msg, extra_delay_ms=delay)
+
+    def _trace_drop(self, msg: Message, reason: str) -> None:
+        """A dropped message never reaches the inner transport, so its
+        SEND and DROP are both recorded here."""
+        tracer = self.tracer
+        if tracer.enabled:
+            tag = trace_tag(msg)
+            tracer.emit(MsgSendEvent, mtype=msg.type_name, src=msg.src,
+                        dst=msg.dst, tag=tag)
+            tracer.emit(MsgDropEvent, mtype=msg.type_name, src=msg.src,
+                        dst=msg.dst, tag=tag, reason=reason)
 
 
 @dataclass(frozen=True)

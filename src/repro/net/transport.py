@@ -29,9 +29,11 @@ from typing import Callable, Protocol
 
 from repro.net.messages import Message
 from repro.netsim.engine import Simulator
+from repro.obs.events import MsgDeliverEvent, MsgSendEvent
+from repro.obs.trace import NULL_TRACER, TracerLike
 from repro.overlay.base import Overlay
 
-__all__ = ["DeliveryTap", "SimTransport", "Transport", "TransportStats"]
+__all__ = ["DeliveryTap", "SimTransport", "Transport", "TransportStats", "trace_tag"]
 
 _MS = 1e-3  # latency oracle is in milliseconds; simulation time in seconds
 
@@ -81,10 +83,20 @@ class TransportStats:
         self.in_flight -= 1
 
 
+def trace_tag(msg: Message) -> int:
+    """The id that joins a message to its protocol event: the exchange
+    ``xid`` when it has one, else the probe ``cycle``, else ``-1``."""
+    tag = getattr(msg, "xid", None)
+    if tag is None:
+        tag = getattr(msg, "cycle", None)
+    return int(tag) if tag is not None else -1
+
+
 class Transport(Protocol):
     """What the protocol engine needs from a message plane."""
 
     stats: TransportStats
+    tracer: TracerLike
 
     def register(self, slot: int, handler: Handler) -> None:
         """Install the receive handler for ``slot``."""
@@ -112,6 +124,9 @@ class SimTransport:
         Optional callback invoked *after* each delivered message's
         handler ran; the fault-safety property suite uses it to check
         invariants after every delivery.
+    tracer:
+        Event sink for ``MSG_SEND`` / ``MSG_DELIVER`` records; defaults
+        to the zero-cost :data:`~repro.obs.trace.NULL_TRACER`.
     """
 
     def __init__(
@@ -121,6 +136,7 @@ class SimTransport:
         *,
         latency_scale: float = 1.0,
         tap: DeliveryTap | None = None,
+        tracer: TracerLike | None = None,
     ) -> None:
         if latency_scale < 0.0:
             raise ValueError(f"latency_scale must be >= 0, got {latency_scale}")
@@ -128,6 +144,7 @@ class SimTransport:
         self.overlay = overlay
         self.latency_scale = float(latency_scale)
         self.tap = tap
+        self.tracer: TracerLike = tracer if tracer is not None else NULL_TRACER
         self.stats = TransportStats()
         self._handlers: dict[int, Handler] = {}
 
@@ -140,11 +157,17 @@ class SimTransport:
     def send(self, msg: Message, extra_delay_ms: float = 0.0) -> None:
         """Deliver ``msg`` after ``d(src, dst) * scale + extra`` ms."""
         self.stats.record_send(msg)
+        if self.tracer.enabled:
+            self.tracer.emit(MsgSendEvent, mtype=msg.type_name, src=msg.src,
+                             dst=msg.dst, tag=trace_tag(msg))
         latency_ms = self.overlay.latency(msg.src, msg.dst) * self.latency_scale
         self.sim.schedule((latency_ms + extra_delay_ms) * _MS, self._deliver, msg)
 
     def _deliver(self, msg: Message) -> None:
         self.stats.record_delivery(msg)
+        if self.tracer.enabled:
+            self.tracer.emit(MsgDeliverEvent, mtype=msg.type_name, src=msg.src,
+                             dst=msg.dst, tag=trace_tag(msg))
         handler = self._handlers.get(msg.dst)
         if handler is not None:
             handler(msg)

@@ -1,0 +1,118 @@
+"""repro.obs — structured event tracing, unified metrics, run reports.
+
+Three layers, each usable alone:
+
+* :mod:`repro.obs.events` / :mod:`repro.obs.trace` — the typed event
+  schema and the :class:`Tracer` event bus the engines and transports
+  emit into (``NullTracer`` when off: one attribute check, zero cost);
+* :mod:`repro.obs.registry` — the unified :class:`MetricsRegistry`
+  that absorbs the legacy ProtocolCounters / NetCounters /
+  TransportStats surfaces into one namespace;
+* :mod:`repro.obs.report` / :mod:`repro.obs.analyze` — per-run
+  :class:`RunReport` artifacts and the ``python -m repro.obs`` trace
+  analyzer.
+
+This package never imports from the harness or the engines — they
+import it.
+"""
+
+from repro.obs.analyze import (
+    ExchangeTimeline,
+    TraceAnalysis,
+    load_trace,
+    reconstruct_timelines,
+    render_timelines,
+)
+from repro.obs.events import (
+    EVENT_TYPES,
+    ChurnJoin,
+    ChurnLeave,
+    Event,
+    ExchangeAbortEvent,
+    ExchangeCommitEvent,
+    ExchangePrepareEvent,
+    ExchangeTimeoutEvent,
+    MsgDeliverEvent,
+    MsgDropEvent,
+    MsgSendEvent,
+    MsgTimeoutEvent,
+    ProbeEvent,
+    VarCollectEvent,
+    event_from_dict,
+    event_to_dict,
+    events_from_jsonl,
+    events_to_jsonl,
+)
+from repro.obs.registry import (
+    NET_TABLE_COLUMNS,
+    VAR_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    absorb_net_counters,
+    absorb_protocol_counters,
+    absorb_transport_stats,
+    net_summary_rows,
+    registry_from_result,
+)
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    RunReport,
+    build_run_report,
+    config_fingerprint,
+    diff_reports,
+    load_report,
+    render_markdown,
+    save_report,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, TracerLike
+
+__all__ = [
+    "EVENT_TYPES",
+    "NET_TABLE_COLUMNS",
+    "NULL_TRACER",
+    "REPORT_SCHEMA",
+    "VAR_BUCKETS",
+    "ChurnJoin",
+    "ChurnLeave",
+    "Counter",
+    "Event",
+    "ExchangeAbortEvent",
+    "ExchangeCommitEvent",
+    "ExchangePrepareEvent",
+    "ExchangeTimeline",
+    "ExchangeTimeoutEvent",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MsgDeliverEvent",
+    "MsgDropEvent",
+    "MsgSendEvent",
+    "MsgTimeoutEvent",
+    "NullTracer",
+    "ProbeEvent",
+    "RunReport",
+    "TraceAnalysis",
+    "Tracer",
+    "TracerLike",
+    "VarCollectEvent",
+    "absorb_net_counters",
+    "absorb_protocol_counters",
+    "absorb_transport_stats",
+    "build_run_report",
+    "config_fingerprint",
+    "diff_reports",
+    "event_from_dict",
+    "event_to_dict",
+    "events_from_jsonl",
+    "events_to_jsonl",
+    "load_report",
+    "load_trace",
+    "net_summary_rows",
+    "reconstruct_timelines",
+    "registry_from_result",
+    "render_markdown",
+    "render_timelines",
+    "save_report",
+]

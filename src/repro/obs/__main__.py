@@ -1,0 +1,89 @@
+"""``python -m repro.obs`` — the trace/report analyzer CLI.
+
+Subcommands:
+
+* ``timeline TRACE.jsonl`` — reconstruct the two-phase exchange
+  timelines from a trace, flagging half-open exchanges and late
+  replies.  Exits non-zero when the exactly-once invariant is broken.
+* ``diff A.json B.json`` — metric-by-metric comparison of two run
+  reports.
+* ``render REPORT.json [-o OUT.md]`` — render a run report to
+  markdown (stdout by default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs.analyze import load_trace, reconstruct_timelines, render_timelines
+from repro.obs.report import diff_reports, load_report, render_markdown
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    analysis = reconstruct_timelines(load_trace(args.trace))
+    print(render_timelines(analysis, limit=args.limit))
+    return 0 if analysis.clean else 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    print(diff_reports(load_report(args.a), load_report(args.b)))
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    text = render_markdown(load_report(args.report))
+    if args.output is None:
+        print(text, end="")
+    else:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text, encoding="utf-8")
+        print(f"wrote {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Analyze repro trace files and run reports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_timeline = sub.add_parser(
+        "timeline", help="reconstruct 2PC exchange timelines from a trace"
+    )
+    p_timeline.add_argument("trace", help="JSONL trace file (from --trace)")
+    p_timeline.add_argument(
+        "--limit", type=int, default=40,
+        help="max timelines to print (default 40; -1 for all)",
+    )
+    p_timeline.set_defaults(func=_cmd_timeline)
+
+    p_diff = sub.add_parser("diff", help="diff two run reports")
+    p_diff.add_argument("a", help="baseline report JSON")
+    p_diff.add_argument("b", help="comparison report JSON")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    p_render = sub.add_parser("render", help="render a run report to markdown")
+    p_render.add_argument("report", help="report JSON (from --report)")
+    p_render.add_argument("-o", "--output", default=None, help="output .md path")
+    p_render.set_defaults(func=_cmd_render)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "limit", None) is not None and args.limit < 0:
+        args.limit = None
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `... timeline t.jsonl | head`
+        sys.stderr.close()  # suppress the interpreter's epipe warning
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

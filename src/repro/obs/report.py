@@ -1,0 +1,221 @@
+"""Per-run reports.
+
+A :class:`RunReport` is the machine-readable record of one experiment —
+the muBench-style artifact that downstream analysis consumes without
+re-running the simulation: the config fingerprint and seed that
+reproduce it, the final unified metrics snapshot, the per-phase
+sim-time breakdown, trace event totals, and (when the opt-in profiler
+ran) the merged wall-clock stage timings.
+
+Reports serialize to JSON (``save_report`` / ``load_report``), render
+to markdown (``render_markdown`` — ``make report``), and diff against
+each other (``diff_reports`` — ``python -m repro.obs diff``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections import Counter as _TallyCounter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.registry import _as_flat_items, registry_from_result
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "RunReport",
+    "build_run_report",
+    "config_fingerprint",
+    "diff_reports",
+    "load_report",
+    "render_markdown",
+    "save_report",
+]
+
+REPORT_SCHEMA = "repro.run-report/1"
+
+
+def _jsonable(value: Any) -> Any:
+    """Nested dataclasses / tuples -> plain JSON values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and callable(value.item):  # numpy scalars
+        return value.item()
+    return value
+
+
+def config_fingerprint(config: Any) -> str:
+    """Stable sha256 over the canonical JSON form of a config."""
+    canon = json.dumps(_jsonable(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class RunReport:
+    """The per-run measurement record (see module docs)."""
+
+    fingerprint: str
+    seed: int
+    duration: float
+    metrics: dict[str, Any]
+    phases: dict[str, float]
+    event_counts: dict[str, int] = field(default_factory=dict)
+    profile: dict[str, float] = field(default_factory=dict)
+    samples: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"schema": REPORT_SCHEMA, **_jsonable(self)}
+
+
+def _phase_breakdown(config: Any) -> dict[str, float]:
+    """Sim-time split between warm-up and maintenance.
+
+    Warm-up is the fixed-period phase: ``MAX_INIT_TRIAL`` probe cycles
+    at ``INIT_TIMER`` seconds each (Section 3.2); everything after is
+    Markov-timer maintenance.  Runs without an optimizer are all
+    "measurement" time.
+    """
+    duration = float(config.duration)
+    prop = getattr(config, "prop", None)
+    if prop is None:
+        return {"measurement": duration}
+    warmup = min(duration, float(prop.max_init_trial) * float(prop.init_timer))
+    return {"warmup": warmup, "maintenance": duration - warmup}
+
+
+def build_run_report(result: Any, *, profile: Mapping[str, float] | None = None) -> RunReport:
+    """Assemble the report for one ExperimentResult.
+
+    ``profile`` overrides the result's own ``profile`` attribute when
+    given (e.g. merged timings from several workers).
+    """
+    config = result.config
+    registry = registry_from_result(result)
+    event_counts: dict[str, int] = {}
+    trace = getattr(result, "trace", None)
+    if trace:
+        event_counts = dict(sorted(_TallyCounter(ev.etype for ev in trace).items()))
+    timings = profile if profile is not None else getattr(result, "profile", None)
+    samples = {
+        "initial_lookup_latency_ms": float(result.lookup_latency[0]),
+        "final_lookup_latency_ms": float(result.lookup_latency[-1]),
+        "initial_link_stretch": float(result.link_stretch[0]),
+        "final_link_stretch": float(result.link_stretch[-1]),
+    }
+    return RunReport(
+        fingerprint=config_fingerprint(config),
+        seed=int(config.seed),
+        duration=float(config.duration),
+        metrics=registry.snapshot(),
+        phases=_phase_breakdown(config),
+        event_counts=event_counts,
+        profile=dict(timings) if timings else {},
+        samples={k: v for k, v in samples.items() if v == v},  # drop NaNs
+    )
+
+
+# -- persistence ----------------------------------------------------------
+
+
+def save_report(report: RunReport, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report.to_dict(), indent=1, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_report(path: str | Path) -> RunReport:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.pop("schema", None) != REPORT_SCHEMA:
+        raise ValueError(f"{path} is not a run report ({REPORT_SCHEMA})")
+    return RunReport(**data)
+
+
+# -- rendering ------------------------------------------------------------
+
+
+def render_markdown(report: RunReport) -> str:
+    """Human-readable markdown rendering (``make report``)."""
+    lines = [
+        "# Run report",
+        "",
+        f"- config fingerprint: `{report.fingerprint}`",
+        f"- seed: {report.seed}",
+        f"- simulated duration: {report.duration:.0f} s",
+        "",
+        "## Phases (simulated seconds)",
+        "",
+        "| phase | seconds |",
+        "| --- | ---: |",
+    ]
+    for name, seconds in report.phases.items():
+        lines.append(f"| {name} | {seconds:.0f} |")
+    if report.samples:
+        lines += ["", "## Headline samples", "", "| sample | value |", "| --- | ---: |"]
+        for name, value in report.samples.items():
+            lines.append(f"| {name} | {value:.3f} |")
+    lines += ["", "## Metrics", "", "| metric | value |", "| --- | ---: |"]
+    for name, value in _as_flat_items(report.metrics):
+        rendered = f"{value:.3f}" if value != int(value) else f"{int(value)}"
+        lines.append(f"| {name} | {rendered} |")
+    if report.event_counts:
+        lines += ["", "## Trace events", "", "| event | count |", "| --- | ---: |"]
+        for name, count in report.event_counts.items():
+            lines.append(f"| {name} | {count} |")
+    if report.profile:
+        lines += ["", "## Wall-clock profile (seconds, merged over workers)",
+                  "", "| stage | seconds |", "| --- | ---: |"]
+        for name, seconds in sorted(report.profile.items()):
+            lines.append(f"| {name} | {seconds:.3f} |")
+    return "\n".join(lines) + "\n"
+
+
+# -- diffing --------------------------------------------------------------
+
+
+def diff_reports(a: RunReport, b: RunReport) -> str:
+    """Metric-by-metric comparison of two runs (text table).
+
+    Flags config-fingerprint mismatches (the runs are not the same
+    world) and reports every scalar metric present in either report.
+    """
+    lines: list[str] = []
+    if a.fingerprint != b.fingerprint:
+        lines.append(
+            f"configs differ: {a.fingerprint} vs {b.fingerprint} "
+            "(comparing across worlds)"
+        )
+    if a.seed != b.seed:
+        lines.append(f"seeds differ: {a.seed} vs {b.seed}")
+    flat_a = dict(_as_flat_items(a.metrics))
+    flat_b = dict(_as_flat_items(b.metrics))
+    header = f"{'metric':<40} {'a':>14} {'b':>14} {'delta':>14}"
+    lines += [header, "-" * len(header)]
+    for name in sorted(set(flat_a) | set(flat_b)):
+        va, vb = flat_a.get(name), flat_b.get(name)
+        if va is None or vb is None:
+            present = "a only" if vb is None else "b only"
+            lines.append(f"{name:<40} {present:>44}")
+            continue
+        if va == vb:
+            continue
+        lines.append(f"{name:<40} {va:>14.3f} {vb:>14.3f} {vb - va:>+14.3f}")
+    counts = sorted(set(a.event_counts) | set(b.event_counts))
+    for name in counts:
+        ca, cb = a.event_counts.get(name, 0), b.event_counts.get(name, 0)
+        if ca != cb:
+            lines.append(f"{'events.' + name:<40} {ca:>14} {cb:>14} {cb - ca:>+14}")
+    if len(lines) <= 2:
+        lines.append("(no metric differences)")
+    return "\n".join(lines)

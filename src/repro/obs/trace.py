@@ -1,0 +1,90 @@
+"""The event bus: :class:`Tracer` and the zero-cost :class:`NullTracer`.
+
+Instrumentation sites follow one pattern::
+
+    if self.tracer.enabled:
+        self.tracer.emit(ProbeEvent, u=u, s=s, cycle=cycle)
+
+With the default :class:`NullTracer` the hot path pays exactly one
+attribute check — the event object is never constructed.  A real
+:class:`Tracer` stamps each event with the simulation clock it was
+handed at construction and appends it to an in-memory list; the list is
+plain picklable dataclasses, so a worker process can ship its trace
+back through :mod:`repro.harness.parallel` unchanged.
+
+The tracer deliberately has no I/O of its own beyond
+:meth:`Tracer.write_jsonl`; keeping events in memory until the run ends
+is what makes the serial and multi-process traces byte-identical
+(workers cannot interleave writes into one file).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Protocol
+
+from repro.obs.events import Event, events_to_jsonl
+
+__all__ = ["NullTracer", "Tracer", "TracerLike", "NULL_TRACER"]
+
+
+class TracerLike(Protocol):
+    """What instrumented code needs from a tracer."""
+
+    enabled: bool
+
+    def emit(self, event_cls: type[Event], **payload: object) -> None:
+        """Record one event (no-op when tracing is off)."""
+        ...  # pragma: no cover - protocol signature
+
+
+class NullTracer:
+    """Tracing disabled: ``enabled`` is False and ``emit`` is a no-op.
+
+    Instrumentation sites guard on ``enabled`` before building the
+    event, so a disabled run never pays for payload construction.
+    """
+
+    enabled: bool = False
+
+    def emit(self, event_cls: type[Event], **payload: object) -> None:
+        pass
+
+
+#: Shared default instance — the tracer is stateless when disabled.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """In-memory, sim-time-stamped event collector.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current simulation time;
+        typically ``lambda: sim.now``.  Defaults to a constant 0.0 for
+        unit tests that construct events outside a simulation.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock: Callable[[], float] = clock if clock is not None else lambda: 0.0
+        self.events: list[Event] = []
+
+    def emit(self, event_cls: type[Event], **payload: object) -> None:
+        self.events.append(event_cls(time=self._clock(), **payload))  # type: ignore[arg-type]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_jsonl(self) -> str:
+        """The canonical JSONL form of the collected trace."""
+        return events_to_jsonl(self.events)
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write the trace to ``path``; parent directories are created."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl(), encoding="utf-8")
+        return path

@@ -24,6 +24,8 @@ from typing import Callable
 import numpy as np
 
 from repro.netsim.engine import Simulator
+from repro.obs.events import ChurnJoin, ChurnLeave
+from repro.obs.trace import NULL_TRACER, TracerLike
 from repro.overlay.base import Overlay
 
 __all__ = ["ChurnConfig", "ChurnProcess"]
@@ -62,6 +64,8 @@ class ChurnProcess:
     on_replace:
         Callback ``(slot) -> None`` fired after each replacement —
         typically :meth:`repro.core.protocol.PROPEngine.reset_slot`.
+    tracer:
+        Event sink for ``CHURN_LEAVE`` / ``CHURN_JOIN`` records.
     """
 
     def __init__(
@@ -72,6 +76,8 @@ class ChurnProcess:
         rng: np.random.Generator,
         spare_hosts: list[int] | np.ndarray,
         on_replace: Callable[[int], None] | None = None,
+        *,
+        tracer: TracerLike | None = None,
     ) -> None:
         self.overlay = overlay
         self.config = config
@@ -83,6 +89,7 @@ class ChurnProcess:
             if h in used:
                 raise ValueError(f"spare host {h} is already embedded")
         self.on_replace = on_replace
+        self.tracer: TracerLike = tracer if tracer is not None else NULL_TRACER
         self.events = 0
         self._started = False
 
@@ -119,6 +126,9 @@ class ChurnProcess:
         departed = self.overlay.replace_host(slot, newcomer)
         self.spare[i] = departed
         self.events += 1
+        if self.tracer.enabled:
+            self.tracer.emit(ChurnLeave, slot=slot, host=int(departed))
+            self.tracer.emit(ChurnJoin, slot=slot, host=int(newcomer))
         if self.on_replace is not None:
             self.on_replace(slot)
         return slot

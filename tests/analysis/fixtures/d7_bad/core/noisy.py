@@ -1,0 +1,15 @@
+"""D7 fixture: decision-path code printing and logging instead of tracing."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+class NoisyEngine:
+    def __init__(self) -> None:
+        self.log = logger
+
+    def attempt_exchange(self, u: int, v: int) -> None:
+        print(f"exchanging {u} <-> {v}")
+        logger.info("exchange %d %d", u, v)
+        self.log.debug("var collected")

@@ -12,7 +12,7 @@ from tools.reprolint.engine import (
     save_baseline,
 )
 
-D3_VIOLATION = "for x in {3, 1, 2}:\n    print(x)\n"
+D3_VIOLATION = "for x in {3, 1, 2}:\n    y = x\n"
 
 
 def _core_file(tmp_path, text, name="x.py"):
@@ -32,7 +32,7 @@ class TestSuppressions:
         assert len(_d3(tmp_path)) == 1
 
     def test_same_line_suppression(self, tmp_path):
-        _core_file(tmp_path, "for x in {3, 1, 2}:  # reprolint: disable=D3\n    print(x)\n")
+        _core_file(tmp_path, "for x in {3, 1, 2}:  # reprolint: disable=D3\n    y = x\n")
         assert _d3(tmp_path) == []
 
     def test_comment_line_above_suppression(self, tmp_path):
@@ -40,18 +40,18 @@ class TestSuppressions:
         assert _d3(tmp_path) == []
 
     def test_disable_all(self, tmp_path):
-        _core_file(tmp_path, "for x in {3, 1, 2}:  # reprolint: disable=all\n    print(x)\n")
+        _core_file(tmp_path, "for x in {3, 1, 2}:  # reprolint: disable=all\n    y = x\n")
         assert _d3(tmp_path) == []
 
     def test_multi_rule_list(self, tmp_path):
         _core_file(
             tmp_path,
-            "for x in {3, 1, 2}:  # reprolint: disable=D1, D3\n    print(x)\n",
+            "for x in {3, 1, 2}:  # reprolint: disable=D1, D3\n    y = x\n",
         )
         assert _d3(tmp_path) == []
 
     def test_other_rule_does_not_suppress(self, tmp_path):
-        _core_file(tmp_path, "for x in {3, 1, 2}:  # reprolint: disable=D1\n    print(x)\n")
+        _core_file(tmp_path, "for x in {3, 1, 2}:  # reprolint: disable=D1\n    y = x\n")
         assert len(_d3(tmp_path)) == 1
 
     def test_trailing_comment_on_previous_statement_does_not_leak(self, tmp_path):
@@ -124,7 +124,7 @@ class TestCli:
         root = _core_file(tmp_path, D3_VIOLATION)
         baseline = tmp_path / "baseline.json"
         main(["--root", str(root), "--baseline", str(baseline), "--update-baseline"])
-        _core_file(tmp_path, "for x in sorted({3, 1, 2}):\n    print(x)\n")
+        _core_file(tmp_path, "for x in sorted({3, 1, 2}):\n    y = x\n")
         code = main(["--root", str(root), "--baseline", str(baseline)])
         captured = capsys.readouterr()
         assert code == 2
@@ -160,5 +160,5 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("D1", "D2", "D3", "D4", "D5", "D6"):
+        for rule_id in ("D1", "D2", "D3", "D4", "D5", "D6", "D7"):
             assert rule_id in out

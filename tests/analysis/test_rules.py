@@ -1,4 +1,4 @@
-"""Every reprolint rule (D1-D6) catches its known-bad fixture, and the
+"""Every reprolint rule (D1-D7) catches its known-bad fixture, and the
 real tree under ``src/repro`` is clean modulo the checked-in baseline.
 """
 
@@ -63,6 +63,16 @@ class TestKnownBadFixtures:
         assert len(found) == 1
         assert "`ghost` is never referenced by __post_init__" in found[0].message
 
+    def test_d7_flags_print_and_logging_on_decision_paths(self):
+        found = _findings("d7_bad", "D7")
+        messages = " | ".join(f.message for f in found)
+        assert "`logging` imported" in messages
+        assert "bare `print()`" in messages
+        assert "logging call `logger.info()`" in messages
+        assert "logging call `self.log.debug()`" in messages
+        assert "logging call `logging.getLogger()`" in messages
+        assert len(found) == 5
+
 
 class TestDispatchMutation:
     """The ISSUE's acceptance check: deleting one dispatch arm from a
@@ -112,4 +122,6 @@ class TestRealTree:
     def test_every_rule_registers(self):
         from tools.reprolint import iter_rules
 
-        assert [r.id for r in iter_rules()] == ["D1", "D2", "D3", "D4", "D5", "D6"]
+        assert [r.id for r in iter_rules()] == [
+            "D1", "D2", "D3", "D4", "D5", "D6", "D7",
+        ]

@@ -1,0 +1,157 @@
+"""Trace analysis: timeline reconstruction and the exactly-once invariant.
+
+The acceptance check for the observability PR lives here: in a PROP-G
+run over a 30%-loss FaultyTransport, every ``EXCHANGE_PREPARE`` in the
+trace is accounted for as exactly one of COMMIT / ABORT / TIMEOUT.
+"""
+
+from collections import Counter
+
+from repro.obs.analyze import (
+    load_trace,
+    reconstruct_timelines,
+    render_timelines,
+)
+from repro.obs.events import (
+    ExchangeAbortEvent,
+    ExchangeCommitEvent,
+    ExchangePrepareEvent,
+    ExchangeTimeoutEvent,
+    MsgDeliverEvent,
+    MsgTimeoutEvent,
+    events_to_jsonl,
+)
+
+
+def _prepare(xid, t=1.0):
+    return ExchangePrepareEvent(time=t, xid=xid, u=1, v=2, var=10.0)
+
+
+class TestReconstruction:
+    def test_each_outcome_kind_matches_its_prepare(self):
+        events = [
+            _prepare(1, t=1.0),
+            _prepare(2, t=1.5),
+            _prepare(3, t=2.0),
+            ExchangeCommitEvent(time=3.0, xid=1, u=1, v=2, var=10.0, traded=4),
+            ExchangeAbortEvent(time=3.5, xid=2, u=1, v=2, reason="stale"),
+            ExchangeTimeoutEvent(time=4.0, xid=3, u=1, v=2),
+        ]
+        analysis = reconstruct_timelines(events)
+        assert analysis.clean
+        assert analysis.outcome_counts == {
+            "commit": 1, "abort": 1, "timeout": 1, "half-open": 0,
+        }
+        by_xid = {tl.xid: tl for tl in analysis.timelines}
+        assert by_xid[1].outcome == "commit"
+        assert by_xid[1].resolution_seconds == 2.0
+        assert by_xid[2].reason == "stale"
+        assert by_xid[3].outcome == "timeout"
+
+    def test_half_open_prepare_is_flagged(self):
+        analysis = reconstruct_timelines([_prepare(5)])
+        assert analysis.half_open == [5]
+        assert not analysis.clean
+        assert analysis.timelines[0].outcome == "half-open"
+        assert analysis.timelines[0].resolution_seconds is None
+
+    def test_double_resolution_is_flagged(self):
+        events = [
+            _prepare(1),
+            ExchangeCommitEvent(time=2.0, xid=1, u=1, v=2, var=10.0, traded=4),
+            ExchangeAbortEvent(time=3.0, xid=1, u=1, v=2, reason="late"),
+        ]
+        analysis = reconstruct_timelines(events)
+        assert analysis.over_resolved == [1]
+        assert not analysis.clean
+        # first outcome wins the timeline
+        assert analysis.timelines[0].outcome == "commit"
+
+    def test_orphan_outcome_is_flagged(self):
+        events = [ExchangeCommitEvent(time=2.0, xid=9, u=1, v=2, var=1.0, traded=1)]
+        analysis = reconstruct_timelines(events)
+        assert analysis.orphan_outcomes == [9]
+        assert not analysis.clean
+
+    def test_inline_events_are_excluded_from_matching(self):
+        """xid = -1 commits/aborts come from the non-2PC engines."""
+        events = [
+            ExchangeCommitEvent(time=1.0, xid=-1, u=1, v=2, var=5.0, traded=4),
+            ExchangeAbortEvent(time=2.0, xid=-1, u=3, v=4, reason="stale"),
+        ]
+        analysis = reconstruct_timelines(events)
+        assert analysis.clean
+        assert analysis.inline_commits == 1
+        assert analysis.timelines == [] and analysis.orphan_outcomes == []
+
+    def test_late_reply_detection(self):
+        events = [
+            MsgTimeoutEvent(time=5.0, kind="walk", u=1, tag=3),
+            MsgDeliverEvent(time=6.0, mtype="VAR_REPLY", src=2, dst=1, tag=3),
+            # different cycle: not late
+            MsgDeliverEvent(time=6.5, mtype="VAR_REPLY", src=2, dst=1, tag=4),
+        ]
+        analysis = reconstruct_timelines(events)
+        assert analysis.late_replies == [(6.0, 1, 3)]
+
+
+class TestRendering:
+    def test_summary_and_bug_lines(self):
+        events = [
+            _prepare(1),
+            ExchangeCommitEvent(time=2.0, xid=1, u=1, v=2, var=10.0, traded=4),
+            _prepare(2, t=3.0),
+        ]
+        text = render_timelines(reconstruct_timelines(events))
+        assert "2 two-phase exchanges: 1 committed" in text
+        assert "HALF-OPEN xids: [2]" in text
+
+    def test_limit_truncates_table(self):
+        events = []
+        for xid in range(10):
+            events.append(_prepare(xid, t=float(xid)))
+            events.append(
+                ExchangeCommitEvent(time=xid + 0.5, xid=xid, u=1, v=2,
+                                    var=1.0, traded=1)
+            )
+        text = render_timelines(reconstruct_timelines(events), limit=3)
+        assert "(showing first 3 of 10 timelines)" in text
+
+
+class TestAcceptance:
+    """ISSUE acceptance: exactly-once 2PC accounting under 30% loss."""
+
+    def test_every_prepare_resolves_exactly_once(self, lossy_traced_result):
+        analysis = reconstruct_timelines(lossy_traced_result.trace)
+        prepares = [
+            ev for ev in lossy_traced_result.trace
+            if isinstance(ev, ExchangePrepareEvent)
+        ]
+        assert prepares, "a lossy 2PC run must propose exchanges"
+        assert analysis.clean, (
+            f"half-open={analysis.half_open} over={analysis.over_resolved} "
+            f"orphans={analysis.orphan_outcomes}"
+        )
+        counts = analysis.outcome_counts
+        assert counts["half-open"] == 0
+        assert counts["commit"] + counts["abort"] + counts["timeout"] == len(
+            {ev.xid for ev in prepares}
+        )
+        # under 30% loss some exchanges must fail, some must survive
+        assert counts["commit"] > 0
+        assert counts["abort"] + counts["timeout"] > 0
+
+    def test_prepare_events_are_unique_per_xid(self, lossy_traced_result):
+        xids = Counter(
+            ev.xid for ev in lossy_traced_result.trace
+            if isinstance(ev, ExchangePrepareEvent)
+        )
+        assert all(n == 1 for n in xids.values()), xids.most_common(3)
+
+    def test_round_trips_through_jsonl_file(self, lossy_traced_result, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(events_to_jsonl(lossy_traced_result.trace), encoding="utf-8")
+        analysis = reconstruct_timelines(load_trace(path))
+        assert analysis.outcome_counts == reconstruct_timelines(
+            lossy_traced_result.trace
+        ).outcome_counts

@@ -1,0 +1,87 @@
+"""Event schema: closed registry, lossless round-trip, canonical JSONL."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    ChurnJoin,
+    ChurnLeave,
+    ExchangeAbortEvent,
+    ExchangeCommitEvent,
+    ExchangePrepareEvent,
+    ExchangeTimeoutEvent,
+    MsgDeliverEvent,
+    MsgDropEvent,
+    MsgSendEvent,
+    MsgTimeoutEvent,
+    ProbeEvent,
+    VarCollectEvent,
+    event_from_dict,
+    event_to_dict,
+    events_from_jsonl,
+    events_to_jsonl,
+)
+
+#: One fully populated exemplar per wire tag — the round-trip test below
+#: fails if a new event type is registered without an exemplar here.
+EXEMPLARS = [
+    ProbeEvent(time=1.5, u=3, s=7, cycle=2),
+    VarCollectEvent(time=2.0, u=3, v=9, cycle=2, var=41.25, policy="G"),
+    ExchangePrepareEvent(time=2.5, xid=11, u=3, v=9, var=41.25),
+    ExchangeCommitEvent(time=3.0, xid=11, u=3, v=9, var=41.25, traded=4),
+    ExchangeAbortEvent(time=3.5, xid=12, u=4, v=8, reason="stale"),
+    ExchangeTimeoutEvent(time=4.0, xid=13, u=5, v=6),
+    MsgSendEvent(time=4.5, mtype="PROBE", src=3, dst=7, tag=2),
+    MsgDeliverEvent(time=5.0, mtype="VAR_REPLY", src=9, dst=3, tag=2),
+    MsgDropEvent(time=5.5, mtype="PREPARE", src=3, dst=9, tag=11, reason="loss"),
+    MsgTimeoutEvent(time=6.0, kind="walk", u=3, tag=2),
+    ChurnLeave(time=6.5, slot=17, host=42),
+    ChurnJoin(time=6.5, slot=17, host=99),
+]
+
+
+class TestSchema:
+    def test_registry_is_closed_and_complete(self):
+        assert sorted(EVENT_TYPES) == sorted(ev.etype for ev in EXEMPLARS)
+
+    def test_every_exemplar_tag_matches_its_class(self):
+        for ev in EXEMPLARS:
+            assert EVENT_TYPES[ev.etype] is type(ev)
+
+    def test_events_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            EXEMPLARS[0].u = 99
+
+    @pytest.mark.parametrize("ev", EXEMPLARS, ids=lambda e: e.etype)
+    def test_dict_round_trip(self, ev):
+        data = event_to_dict(ev)
+        assert data["e"] == ev.etype and data["t"] == ev.time
+        assert event_from_dict(data) == ev
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(ValueError, match="unknown event tag"):
+            event_from_dict({"e": "BOGUS", "t": 0.0})
+
+
+class TestJsonl:
+    def test_round_trip_preserves_order_and_values(self):
+        assert events_from_jsonl(events_to_jsonl(EXEMPLARS)) == EXEMPLARS
+
+    def test_canonical_form(self):
+        text = events_to_jsonl(EXEMPLARS[:2])
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            obj = json.loads(line)
+            # sorted keys, no whitespace: re-encoding canonically is a no-op
+            assert line == json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+    def test_empty_trace_is_empty_string(self):
+        assert events_to_jsonl([]) == ""
+        assert events_from_jsonl("") == []
+
+    def test_blank_lines_skipped(self):
+        text = events_to_jsonl(EXEMPLARS[:1]) + "\n\n"
+        assert events_from_jsonl(text) == EXEMPLARS[:1]

@@ -1,0 +1,175 @@
+"""Unified metrics registry: primitives, adapters, and the merged table."""
+
+import pytest
+
+from repro.core.protocol import ProtocolCounters
+from repro.net.engine import NetCounters
+from repro.net.transport import TransportStats
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NET_TABLE_COLUMNS,
+    VAR_BUCKETS,
+    absorb_net_counters,
+    absorb_protocol_counters,
+    absorb_transport_stats,
+    net_summary_rows,
+    registry_from_result,
+)
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("x").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_buckets_and_overflow(self):
+        h = Histogram("x", edges=(10.0, 100.0))
+        for v in (5.0, 50.0, 500.0, 7.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]  # <=10, <=100, overflow
+        assert h.count == 4
+        assert h.mean == pytest.approx((5 + 50 + 500 + 7) / 4)
+
+    def test_histogram_requires_sorted_edges(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("x", edges=(100.0, 10.0))
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("x", edges=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_cross_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="another kind"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="another kind"):
+            reg.histogram("x")
+
+    def test_histogram_edge_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", edges=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different edges"):
+            reg.histogram("h", edges=(1.0, 3.0))
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.gauge("a").set(1.5)
+        h = reg.histogram("c", edges=(10.0,))
+        h.observe(3.0)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["b"] == 2 and snap["a"] == 1.5
+        assert snap["c"] == {"edges": [10.0], "counts": [1, 0], "count": 1, "sum": 3.0}
+
+    def test_names_spans_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.gauge("g")
+        reg.histogram("h")
+        assert reg.names() == ["c", "g", "h"]
+
+
+class TestAdapters:
+    def test_absorb_protocol_counters(self):
+        counters = ProtocolCounters(
+            probes=10, exchanges=4, walk_messages=20,
+            collect_messages=8, notify_messages=12,
+            var_history=[5.0, 500.0],
+        )
+        reg = MetricsRegistry()
+        absorb_protocol_counters(reg, counters)
+        snap = reg.snapshot()
+        assert snap["prop.probes"] == 10
+        assert snap["prop.exchanges"] == 4
+        assert snap["prop.var"]["count"] == 2
+        assert snap["prop.var"]["edges"] == list(VAR_BUCKETS)
+
+    def test_absorb_net_counters(self):
+        reg = MetricsRegistry()
+        absorb_net_counters(reg, NetCounters(walk_timeouts=3, busy_rejects=1))
+        snap = reg.snapshot()
+        assert snap["net.walk_timeouts"] == 3
+        assert snap["net.busy_rejects"] == 1
+
+    def test_absorb_transport_stats(self):
+        stats = TransportStats()
+        stats.sent["PROBE"] = 7
+        stats.delivered["PROBE"] = 5
+        stats.dropped["PROBE"] = 2
+        stats.drop_reasons["loss"] = 2
+        stats.bytes_sent = 700
+        stats.max_in_flight = 4
+        reg = MetricsRegistry()
+        absorb_transport_stats(reg, stats)
+        snap = reg.snapshot()
+        assert snap["transport.sent"] == 7
+        assert snap["transport.delivered"] == 5
+        assert snap["transport.dropped"] == 2
+        assert snap["transport.sent.PROBE"] == 7
+        assert snap["transport.drop_reason.loss"] == 2
+        assert snap["transport.bytes_sent"] == 700
+        assert snap["transport.max_in_flight"] == 4.0
+
+    def test_registry_from_result_absorbs_every_surface(self):
+        class Result:
+            final_counters = ProtocolCounters(probes=2)
+            net_counters = NetCounters(walk_timeouts=1)
+            net_stats = TransportStats()
+
+        snap = registry_from_result(Result()).snapshot()
+        assert snap["prop.probes"] == 2
+        assert snap["net.walk_timeouts"] == 1
+        assert snap["transport.sent"] == 0
+
+    def test_registry_from_result_tolerates_absent_surfaces(self):
+        class Bare:
+            final_counters = None
+            net_counters = None
+            net_stats = None
+
+        assert registry_from_result(Bare()).names() == []
+
+
+class TestMergedTable:
+    def test_column_set_is_pinned(self):
+        assert NET_TABLE_COLUMNS == ("metric", "value")
+
+    def test_rows_cover_both_planes_once(self):
+        reg = MetricsRegistry()
+        absorb_net_counters(reg, NetCounters(walk_timeouts=2))
+        absorb_transport_stats(reg, TransportStats())
+        reg.counter("prop.probes").inc(5)  # out of scope for the net table
+        rows = net_summary_rows(reg)
+        names = [name for name, _ in rows]
+        assert names == sorted(names)
+        assert names.count("net.walk_timeouts") == 1
+        assert names.count("transport.sent") == 1
+        assert not any(n.startswith("prop.") for n in names)
+
+    def test_histograms_excluded_from_rows(self):
+        reg = MetricsRegistry()
+        reg.histogram("net.var").observe(1.0)
+        assert net_summary_rows(reg) == []

@@ -1,0 +1,108 @@
+"""RunReport: fingerprinting, assembly, persistence, rendering, diffing."""
+
+import json
+
+import pytest
+
+from tests.obs.conftest import LOSSY_TRACED
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    build_run_report,
+    config_fingerprint,
+    diff_reports,
+    load_report,
+    render_markdown,
+    save_report,
+)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert config_fingerprint(LOSSY_TRACED) == config_fingerprint(LOSSY_TRACED)
+
+    def test_sensitive_to_any_field(self):
+        assert config_fingerprint(LOSSY_TRACED) != config_fingerprint(
+            LOSSY_TRACED.but(seed=1)
+        )
+        assert config_fingerprint(LOSSY_TRACED) != config_fingerprint(
+            LOSSY_TRACED.but(loss=0.2)
+        )
+
+    def test_short_hex(self):
+        fp = config_fingerprint(LOSSY_TRACED)
+        assert len(fp) == 16
+        int(fp, 16)  # parses as hex
+
+
+class TestBuild:
+    def test_report_fields(self, lossy_traced_result):
+        report = build_run_report(lossy_traced_result)
+        assert report.fingerprint == config_fingerprint(LOSSY_TRACED)
+        assert report.seed == 0
+        assert report.duration == 600.0
+        assert report.metrics["prop.probes"] > 0
+        assert report.event_counts.get("PROBE", 0) > 0
+        assert report.event_counts.get("EXCHANGE_PREPARE", 0) > 0
+
+    def test_phase_breakdown_sums_to_duration(self, lossy_traced_result):
+        report = build_run_report(lossy_traced_result)
+        assert set(report.phases) == {"warmup", "maintenance"}
+        assert sum(report.phases.values()) == pytest.approx(600.0)
+
+    def test_profile_override(self, lossy_traced_result):
+        report = build_run_report(
+            lossy_traced_result, profile={"simulate": 1.25}
+        )
+        assert report.profile == {"simulate": 1.25}
+
+    def test_samples_are_finite(self, lossy_traced_result):
+        report = build_run_report(lossy_traced_result)
+        assert "final_lookup_latency_ms" in report.samples
+        for value in report.samples.values():
+            assert value == value  # no NaNs survive
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, lossy_traced_result, tmp_path):
+        report = build_run_report(lossy_traced_result)
+        path = save_report(report, tmp_path / "sub" / "report.json")
+        loaded = load_report(path)
+        assert loaded.fingerprint == report.fingerprint
+        assert loaded.metrics == json.loads(json.dumps(report.metrics))
+        assert loaded.event_counts == report.event_counts
+
+    def test_schema_tag_enforced(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/9"}), encoding="utf-8")
+        with pytest.raises(ValueError, match=REPORT_SCHEMA.replace("/", ".")):
+            load_report(bad)
+
+
+class TestRendering:
+    def test_markdown_sections(self, lossy_traced_result):
+        text = render_markdown(build_run_report(lossy_traced_result))
+        assert text.startswith("# Run report")
+        for heading in ("## Phases", "## Headline samples", "## Metrics",
+                        "## Trace events"):
+            assert heading in text
+        assert "prop.probes" in text
+        assert "EXCHANGE_PREPARE" in text
+
+
+class TestDiff:
+    def test_identical_reports_have_no_differences(self, lossy_traced_result):
+        report = build_run_report(lossy_traced_result)
+        assert "(no metric differences)" in diff_reports(report, report)
+
+    def test_diff_flags_changed_metrics_and_configs(self, lossy_traced_result):
+        a = build_run_report(lossy_traced_result)
+        b = build_run_report(lossy_traced_result)
+        b.fingerprint = "0" * 16
+        b.seed = 7
+        b.metrics = dict(a.metrics, **{"prop.probes": a.metrics["prop.probes"] + 5})
+        b.event_counts = dict(a.event_counts, PROBE=a.event_counts["PROBE"] + 1)
+        text = diff_reports(a, b)
+        assert "configs differ" in text
+        assert "seeds differ" in text
+        assert "prop.probes" in text
+        assert "events.PROBE" in text

@@ -1,0 +1,52 @@
+"""Tracer / NullTracer behavior."""
+
+from repro.obs.events import ProbeEvent
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+
+class TestNullTracer:
+    def test_disabled_and_noop(self):
+        t = NullTracer()
+        assert t.enabled is False
+        t.emit(ProbeEvent, u=1, s=2, cycle=0)  # must not raise, must not record
+
+    def test_shared_singleton_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+
+class TestTracer:
+    def test_stamps_events_with_injected_clock(self):
+        now = [0.0]
+        t = Tracer(clock=lambda: now[0])
+        t.emit(ProbeEvent, u=1, s=2, cycle=0)
+        now[0] = 7.5
+        t.emit(ProbeEvent, u=3, s=4, cycle=1)
+        assert [ev.time for ev in t.events] == [0.0, 7.5]
+        assert t.events[1] == ProbeEvent(time=7.5, u=3, s=4, cycle=1)
+
+    def test_default_clock_is_zero(self):
+        t = Tracer()
+        t.emit(ProbeEvent, u=1, s=2, cycle=0)
+        assert t.events[0].time == 0.0
+
+    def test_len_counts_events(self):
+        t = Tracer()
+        assert len(t) == 0
+        t.emit(ProbeEvent, u=1, s=2, cycle=0)
+        assert len(t) == 1
+
+    def test_write_jsonl_creates_parents(self, tmp_path):
+        t = Tracer()
+        t.emit(ProbeEvent, u=1, s=2, cycle=0)
+        out = t.write_jsonl(tmp_path / "deep" / "nested" / "trace.jsonl")
+        assert out.exists()
+        assert out.read_text() == t.to_jsonl()
+
+    def test_instrumentation_guard_pattern(self):
+        """The site-level contract: guard on .enabled, emit only when on."""
+        t = Tracer()
+        if t.enabled:
+            t.emit(ProbeEvent, u=9, s=9, cycle=9)
+        assert len(t) == 1
+        if NULL_TRACER.enabled:  # pragma: no cover - must not trigger
+            raise AssertionError("NULL_TRACER must be disabled")

@@ -1,0 +1,57 @@
+"""Trace determinism: same config + seed => byte-identical JSONL.
+
+The tracer keeps events in memory as picklable dataclasses and workers
+ship them back whole, so the serialized trace must not depend on worker
+count — the property that makes traces diffable artifacts.
+"""
+
+from repro.core.config import PROPConfig
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.sweep import run_sweep
+from repro.obs.events import events_to_jsonl
+from repro.workloads.churn import ChurnConfig
+
+TRACED = ExperimentConfig(
+    seed=3,
+    preset="ts-small",
+    n_overlay=60,
+    prop=PROPConfig(policy="G"),
+    transport="sim",
+    loss=0.2,
+    trace=True,
+    duration=450.0,
+    sample_interval=150.0,
+    lookups_per_sample=20,
+)
+
+
+def test_same_seed_is_byte_identical():
+    a = run_experiment(TRACED, measure_lookups=False)
+    b = run_experiment(TRACED, measure_lookups=False)
+    assert a.trace and events_to_jsonl(a.trace) == events_to_jsonl(b.trace)
+
+
+def test_serial_and_parallel_traces_are_byte_identical():
+    serial = run_sweep({"run": TRACED}, measure_lookups=False, workers=1)
+    pooled = run_sweep({"run": TRACED}, measure_lookups=False, workers=2)
+    assert events_to_jsonl(serial["run"].trace) == events_to_jsonl(
+        pooled["run"].trace
+    )
+
+
+def test_different_seeds_diverge():
+    a = run_experiment(TRACED, measure_lookups=False)
+    b = run_experiment(TRACED.but(seed=4), measure_lookups=False)
+    assert events_to_jsonl(a.trace) != events_to_jsonl(b.trace)
+
+
+def test_churn_events_are_deterministic_too():
+    config = TRACED.but(
+        transport=None, loss=0.0, n_spare=10,
+        churn=ChurnConfig(rate_per_node=0.002),
+    )
+    a = run_experiment(config, measure_lookups=False)
+    b = run_experiment(config, measure_lookups=False)
+    text = events_to_jsonl(a.trace)
+    assert text == events_to_jsonl(b.trace)
+    assert '"e":"CHURN_LEAVE"' in text and '"e":"CHURN_JOIN"' in text

@@ -81,21 +81,33 @@ class TestTransportFlags:
         assert main(self.COMMON + ["--transport", "sim"]) == 0
         out = capsys.readouterr().out
         assert "PROP-G" in out
-        assert "messages:" in out and "dropped" in out
+        assert "transport.sent" in out and "transport.dropped" in out
+
+    def test_net_table_is_single_merged_table(self, capsys):
+        """NetCounters and transport.stats appear once, in one table."""
+        assert main(self.COMMON + ["--transport", "sim", "--loss", "0.1"]) == 0
+        out = capsys.readouterr().out
+        # the pinned column set of the merged table
+        assert "metric" in out and "value" in out
+        # the legacy two-surface summary lines are gone
+        assert "messages:" not in out
+        # both planes are sourced from the one registry
+        assert out.count("transport.sent ") == 1
+        assert "net.walk_timeouts" in out
 
     def test_lossy_partitioned_run(self, capsys):
         argv = self.COMMON + ["--transport", "sim", "--loss", "0.1",
                               "--partition", "a:b"]
         assert main(argv) == 0
         out = capsys.readouterr().out
-        assert "messages:" in out
-        assert "loss=" in out or "partition=" in out  # some drops reported
+        assert "transport.drop_reason.loss" in out
+        assert "transport.drop_reason.partition" in out
 
     def test_transient_partition_spec_accepted(self, capsys):
         argv = self.COMMON + ["--transport", "sim",
                               "--partition", "a:b@60-120"]
         assert main(argv) == 0
-        assert "messages:" in capsys.readouterr().out
+        assert "transport.sent" in capsys.readouterr().out
 
     def test_loss_requires_sim_transport(self):
         with pytest.raises(SystemExit):
@@ -122,6 +134,56 @@ class TestTransportFlags:
     def test_malformed_partition_spec_rejected(self):
         with pytest.raises(ValueError):
             main(self.COMMON + ["--transport", "sim", "--partition", "oops"])
+
+
+class TestObservabilityFlags:
+    """--trace / --report / --profile on ``run``."""
+
+    COMMON = [
+        "run", "--preset", "ts-small", "--n", "60", "--policy", "G",
+        "--duration", "300", "--sample-interval", "150", "--lookups", "20",
+    ]
+
+    def test_trace_writes_parseable_jsonl(self, tmp_path, capsys):
+        from repro.obs.events import events_from_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        argv = self.COMMON + ["--transport", "sim", "--trace", str(path)]
+        assert main(argv) == 0
+        events = events_from_jsonl(path.read_text())
+        assert events, "a PROP run must emit events"
+        assert {e.etype for e in events} >= {"PROBE", "MSG_SEND", "MSG_DELIVER"}
+
+    def test_report_flag_writes_run_report(self, tmp_path, capsys):
+        from repro.obs.report import load_report
+
+        path = tmp_path / "report.json"
+        assert main(self.COMMON + ["--report", str(path)]) == 0
+        report = load_report(path)
+        assert report.seed == 0
+        assert report.phases and report.metrics
+        assert report.event_counts.get("PROBE", 0) > 0
+
+    def test_trace_rejects_seeds(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self.COMMON + ["--seeds", "0,1",
+                                "--trace", str(tmp_path / "t.jsonl")])
+
+    def test_report_rejects_seeds(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self.COMMON + ["--seeds", "0,1",
+                                "--report", str(tmp_path / "r.json")])
+
+    def test_profile_prints_stage_table(self, capsys):
+        assert main(self.COMMON + ["--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "build_world" in out and "simulate" in out
+
+    def test_no_trace_flag_means_no_tracer(self, capsys):
+        # plain runs keep the NullTracer: nothing observability-related
+        # in the output beyond the merged net table
+        assert main(self.COMMON) == 0
+        assert "build_world" not in capsys.readouterr().out
 
 
 class TestParallelExecution:

@@ -1,4 +1,4 @@
-"""The reprolint rule catalogue (D1-D6).
+"""The reprolint rule catalogue (D1-D7).
 
 Each rule encodes one invariant the reproduction's claims rest on; the
 module docstrings of the checked packages state the invariants in prose,
@@ -21,6 +21,7 @@ __all__ = [
     "HandlerExhaustiveness",
     "ExchangeAtomicity",
     "ConfigCoverage",
+    "TracedEventEmission",
 ]
 
 
@@ -700,3 +701,77 @@ class ConfigCoverage(Rule):
                     f"{self.CONFIG_CLASS} field `{name}` is never referenced by "
                     f"{self.VALIDATOR}; add a validation check",
                 )
+
+
+# -- D7 -------------------------------------------------------------------
+
+
+@register
+class TracedEventEmission(Rule):
+    """D7: decision-path code reports events only through the Tracer.
+
+    The ``repro.obs`` tracing plane is the single source of truth for
+    what happened in a run: the analyzer's exactly-once 2PC accounting,
+    the byte-identical serial/parallel trace guarantee, and the report
+    event counts all assume every observable event flows through
+    ``tracer.emit``.  A ``print()`` on an engine code path is invisible
+    to all of them (and corrupts the CLI's machine-parsed output); a
+    ``logging`` call drags in wall-clock timestamps and global handler
+    state.  Protocol, message-plane, and overlay modules therefore may
+    not print or log — they emit typed events through the injected
+    Tracer.
+    """
+
+    id = "D7"
+    name = "traced-event-emission"
+    description = "core/net/overlay must emit via Tracer, not print/logging"
+
+    SCOPES = ("repro.core", "repro.net", "repro.overlay")
+    #: receivers whose method calls are logging emissions (`logger.info`,
+    #: `self.log.debug`, `logging.warning`, ...).
+    _LOG_RECEIVERS = frozenset({"logging", "logger", "log"})
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if not mod.module.startswith(self.SCOPES):
+            return
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "logging" or alias.name.startswith("logging."):
+                        yield mod.finding(
+                            self.id, node,
+                            "`logging` imported on a decision path; emit typed "
+                            "events through the injected Tracer instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "logging" or (
+                    node.module or ""
+                ).startswith("logging."):
+                    yield mod.finding(
+                        self.id, node,
+                        "import from `logging` on a decision path; emit typed "
+                        "events through the injected Tracer instead",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(mod, node)
+
+    def _check_call(self, mod: ModuleInfo, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            yield mod.finding(
+                self.id, node,
+                "bare `print()` on a decision path; emit a typed event "
+                "through the injected Tracer (or drop the output)",
+            )
+            return
+        qn = _qualname(func)
+        if qn is None:
+            return
+        recv, _, _ = qn.rpartition(".")
+        tail = recv.rpartition(".")[2]
+        if recv and (recv in self._LOG_RECEIVERS or tail in self._LOG_RECEIVERS):
+            yield mod.finding(
+                self.id, node,
+                f"logging call `{qn}()` on a decision path; emit a typed "
+                "event through the injected Tracer instead",
+            )
