@@ -1,6 +1,6 @@
 # Convenience targets for the PROP reproduction.
 
-.PHONY: install test bench bench-obs figures examples report lint analyze analyze-baseline all
+.PHONY: install test bench bench-obs bench-check monitor-demo figures examples report lint analyze analyze-baseline all
 
 # ruff (configured in pyproject.toml) when available; offline images
 # fall back to the dependency-free subset checker in tools/lint.py.
@@ -41,6 +41,20 @@ bench:
 # tracing, best-of-3, written to BENCH_obs.json (docs/observability.md).
 bench-obs:
 	PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+# Noise-aware regression gate over benchmarks/history.jsonl: the newest
+# record per bench vs the trailing median of its predecessors.  Exit
+# codes: 0 pass, 1 regression, 2 no history.  REPORT_ONLY=1 reports
+# without failing (PR CI).
+bench-check:
+	PYTHONPATH=src python -m repro.obs bench-check \
+		$(if $(REPORT_ONLY),--report-only,)
+
+# 60-second monitored run: live stderr line (phase, sim-time, ETA,
+# latency, exchange tallies) with streaming consumers — no raw trace.
+monitor-demo:
+	PYTHONPATH=src python -m repro run --preset ts-small --n 100 --policy G \
+		--duration 600 --sample-interval 60 --lookups 50 --monitor
 
 figures: bench
 	@echo "regenerated series are under benchmarks/output/"

@@ -63,9 +63,13 @@ def _best_of(config: ExperimentConfig, repeats: int = REPEATS) -> tuple[float, i
 
 
 def main(out_path: str | Path = Path(__file__).resolve().parents[1] / "BENCH_obs.json") -> dict:
+    from common import record_history
+    from repro.obs.bench_history import current_git_rev
+
     untraced_s, _ = _best_of(FIG5_WORKLOAD)
     traced_s, n_events = _best_of(FIG5_WORKLOAD.but(trace=True))
     payload = {
+        "schema_version": "repro.bench-obs/2",
         "benchmark": "obs-overhead/fig5a-gnutella",
         "workload": {
             "preset": FIG5_WORKLOAD.preset,
@@ -81,9 +85,19 @@ def main(out_path: str | Path = Path(__file__).resolve().parents[1] / "BENCH_obs
         "events_recorded": n_events,
         "events_per_traced_second": round(n_events / traced_s, 1),
         "python": platform.python_version(),
+        "git_rev": current_git_rev(Path(__file__).resolve().parent),
     }
     out_path = Path(out_path)
     out_path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    record_history(
+        payload["benchmark"],
+        {
+            "untraced_seconds": payload["untraced_seconds"],
+            "traced_seconds": payload["traced_seconds"],
+            "tracing_overhead_ratio": payload["tracing_overhead_ratio"],
+        },
+        config=FIG5_WORKLOAD,
+    )
     print(json.dumps(payload, indent=1))
     print(f"wrote {out_path}")
     return payload

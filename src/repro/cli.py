@@ -111,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "phase breakdown) to this JSON file")
     obs.add_argument("--profile", action="store_true",
                      help="profile wall-clock time per harness stage")
+    obs.add_argument("--monitor", action="store_true",
+                     help="live stderr progress line (phase, sim-time, ETA, "
+                          "latency, exchange tallies); without --trace/--report "
+                          "this streams events to consumers and discards them, "
+                          "bounding memory for long runs")
 
     sub.add_parser("presets", help="list the physical topology presets")
 
@@ -131,6 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--workers", type=int, default=1,
                         help="worker processes for the sweep "
                              "(default: 1 = in-process; 0 = one per core)")
+    figure.add_argument("--monitor", action="store_true",
+                        help="live stderr rollup line (done/total, ETA) as "
+                             "the sweep's runs complete")
 
     report = sub.add_parser("report", help="tabulate saved results in a directory")
     report.add_argument("directory", help="directory of result JSON files")
@@ -174,6 +182,13 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         loss=args.loss,
         partitions=tuple(args.partition or ()),
         trace=args.trace is not None or args.report is not None,
+        # --monitor alone needs the event stream but not the raw trace:
+        # stream to consumers and discard, keeping memory O(windows)
+        trace_streaming=(
+            getattr(args, "monitor", False)
+            and args.trace is None
+            and args.report is None
+        ),
     )
 
 
@@ -185,6 +200,20 @@ def _print_progress(event: TaskEvent) -> None:
         print(f"  {event.label} retrying ({event.error})", file=sys.stderr)
     elif event.status == "failed":
         print(f"  {event.label} FAILED ({event.error})", file=sys.stderr)
+
+
+def _monitored_progress(total: int, workers: int):
+    """Progress callback folding task events into a live rollup line."""
+    from repro.harness.parallel import ProgressRollup
+
+    rollup = ProgressRollup(total)
+
+    def render(event: TaskEvent) -> None:
+        _print_progress(event)
+        if event.status in ("done", "retry", "failed"):
+            print(f"  {rollup.render(workers=workers)}", file=sys.stderr)
+
+    return rollup.chain(render)
 
 
 def _parse_seeds(spec: str) -> list[int]:
@@ -203,15 +232,20 @@ def _cmd_run_replicated(args: argparse.Namespace, config: ExperimentConfig,
 
     if args.save:
         raise SystemExit("error: --save stores a single result; drop --seeds")
-    if args.trace or args.report:
-        raise SystemExit("error: --trace/--report record a single run; drop --seeds")
+    if args.trace:
+        raise SystemExit("error: --trace records a single run; drop --seeds")
     print(
         f"replicating {config.overlay_kind} n={config.n_overlay} on {config.preset} "
         f"with optimizer={label} over {len(seeds)} seeds "
         f"(workers={args.workers}) ...",
         file=sys.stderr,
     )
-    summary = replicate(config, seeds, workers=args.workers, progress=_print_progress)
+    progress = (
+        _monitored_progress(len(seeds), args.workers)
+        if args.monitor
+        else _print_progress
+    )
+    summary = replicate(config, seeds, workers=args.workers, progress=progress)
     print(
         format_series(
             f"{config.overlay_kind} / {label}  mean over seeds {seeds}",
@@ -227,6 +261,12 @@ def _cmd_run_replicated(args: argparse.Namespace, config: ExperimentConfig,
     print(f"\nimprovement ratio (final/initial lookup latency): "
           f"{summary.mean_improvement():.3f} +/- {summary.std_improvement():.3f} "
           f"over {summary.n_replicas} seeds")
+    if args.report:
+        from repro.obs.report import build_replicate_report, save_report
+
+        path = save_report(build_replicate_report(summary), args.report)
+        print(f"wrote aggregate report ({summary.n_replicas} seeds) to {path}",
+              file=sys.stderr)
     return 0
 
 
@@ -246,11 +286,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if args.workers != 1:
         # Route through the pool even for a single deployment so
-        # `--workers` smoke-tests the parallel path end to end.
+        # `--workers` smoke-tests the parallel path end to end.  A
+        # monitored worker run streams to consumers inside the worker
+        # (reconstructed from the config) and reports them back whole;
+        # the live per-sample line is a serial-path feature.
         from repro.harness.sweep import run_sweep
 
+        progress = _monitored_progress(1, args.workers) if args.monitor else None
         result = run_sweep(
-            {label: config}, workers=args.workers, profile=args.profile
+            {label: config}, workers=args.workers, profile=args.profile,
+            progress=progress,
         )[label]
     else:
         profiler = None
@@ -258,7 +303,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
             from repro.harness.profiler import StageProfiler
 
             profiler = StageProfiler()
-        result = run_experiment(config, profiler=profiler)
+        consumers = None
+        sample_hook = None
+        if args.monitor:
+            import time as _time
+
+            from repro.harness.experiment import monitor_consumers
+            from repro.obs.monitor import format_status
+
+            if not config.trace_streaming:
+                # buffered tracing active (--trace/--report): attach the
+                # monitor consumers alongside the raw event buffer
+                consumers = monitor_consumers(config)
+            wall_start = _time.monotonic()  # reprolint: disable=D1
+
+            def sample_hook(t: float, status) -> None:
+                eta = None
+                if t > 0:
+                    # wall-clock ETA, CLI-side only  # reprolint: disable=D1
+                    elapsed = _time.monotonic() - wall_start
+                    eta = elapsed * (config.duration - t) / t
+                if status is not None:
+                    print(format_status(status, eta_seconds=eta), file=sys.stderr)
+
+        result = run_experiment(
+            config, profiler=profiler, consumers=consumers, sample_hook=sample_hook
+        )
+    if args.monitor and result.consumers:
+        from repro.obs.monitor import format_status
+
+        for consumer in result.consumers:
+            get_status = getattr(consumer, "status", None)
+            if callable(get_status):
+                print(format_status(get_status()), file=sys.stderr)
+                break
     print(
         format_series(
             f"{config.overlay_kind} / {label}",
@@ -295,15 +373,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print()
         print(format_table(["stage", "wall seconds"], rows))
     if args.trace:
-        from pathlib import Path
+        from repro.obs.trace import write_events_jsonl
 
-        from repro.obs.events import events_to_jsonl
-
-        trace_path = Path(args.trace)
-        trace_path.parent.mkdir(parents=True, exist_ok=True)
-        trace_path.write_text(events_to_jsonl(result.trace or []), encoding="utf-8")
-        print(f"wrote {len(result.trace or [])} events to {trace_path}",
-              file=sys.stderr)
+        events = result.trace or []
+        if not events:
+            print(f"warning: run produced no trace events; {args.trace} "
+                  "will be empty", file=sys.stderr)
+        trace_path = write_events_jsonl(events, args.trace)
+        print(f"wrote {len(events)} events to {trace_path}", file=sys.stderr)
     if args.report:
         from repro.obs.report import build_run_report, save_report
 
@@ -346,7 +423,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         f"at {args.scale} scale: {len(configs)} runs (workers={args.workers}) ...",
         file=sys.stderr,
     )
-    results = run_sweep(configs, workers=args.workers, progress=_print_progress)
+    progress = (
+        _monitored_progress(len(configs), args.workers)
+        if args.monitor
+        else _print_progress
+    )
+    results = run_sweep(configs, workers=args.workers, progress=progress)
     times = next(iter(results.values())).times
     metric = "stretch" if args.figure_id.startswith("fig6") else "lookup_latency"
     print(

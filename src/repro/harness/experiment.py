@@ -31,7 +31,9 @@ from repro.net.faults import FaultyTransport, PartitionSpec
 from repro.net.transport import SimTransport
 from repro.netsim.engine import Simulator
 from repro.netsim.rng import RngRegistry
-from repro.obs.trace import Tracer
+from repro.obs.live import WindowedCounts
+from repro.obs.monitor import ConvergenceMonitor
+from repro.obs.trace import TraceConsumer, Tracer
 from repro.overlay.base import Overlay
 from repro.overlay.can import CANOverlay
 from repro.overlay.chord import ChordOverlay
@@ -53,6 +55,7 @@ __all__ = [
     "ExperimentResult",
     "World",
     "build_world",
+    "monitor_consumers",
     "run_experiment",
 ]
 
@@ -97,7 +100,9 @@ class ExperimentConfig:
     latency_scale: float = 1.0
     net: NetConfig | None = None
     # observability
-    trace: bool = False  # collect structured events (repro.obs)
+    trace: bool = False  # buffer structured events (repro.obs)
+    trace_streaming: bool = False  # dispatch to consumers, discard raw events
+    trace_window: float | None = None  # consumer window width (default: sample_interval)
     # measurement
     duration: float = 1800.0
     sample_interval: float = 120.0
@@ -122,6 +127,16 @@ class ExperimentConfig:
             raise ValueError("duration must cover at least one sample interval")
         if (self.pis_landmarks is not None or self.pns) and self.overlay_kind != "chord":
             raise ValueError("PIS/PNS apply to the chord overlay only")
+        if self.trace and self.trace_streaming:
+            raise ValueError(
+                "trace buffers every raw event and trace_streaming discards "
+                "them; enable at most one of the two"
+            )
+        if self.trace_window is not None:
+            if self.trace_window <= 0:
+                raise ValueError(f"trace_window must be > 0, got {self.trace_window}")
+            if not (self.trace or self.trace_streaming):
+                raise ValueError("trace_window needs trace or trace_streaming")
         if self.transport not in (None, "sim"):
             raise ValueError(f"transport must be None or 'sim', got {self.transport!r}")
         if not 0.0 <= self.loss < 1.0:
@@ -194,6 +209,7 @@ class ExperimentResult:
     net_counters: Any = None  # NetCounters (timeouts/retries) likewise
     trace: Any = None  # list[repro.obs.events.Event] when config.trace
     profile: Any = None  # dict[str, float] wall-clock stage timings (opt-in)
+    consumers: Any = None  # list[TraceConsumer] when streaming/monitoring
 
     @property
     def initial_lookup_latency(self) -> float:
@@ -220,6 +236,31 @@ class ExperimentResult:
         """Probes per second between consecutive samples."""
         dt = np.diff(self.times)
         return np.diff(self.probes) / np.where(dt > 0, dt, 1.0)
+
+
+def monitor_consumers(config: ExperimentConfig) -> list[TraceConsumer]:
+    """The standard config-derived consumer set for monitored runs.
+
+    Built from the config alone so a worker process reconstructs the
+    identical set — streaming aggregates stay byte-comparable between
+    serial and ``--workers N`` execution.  Window width defaults to the
+    sampling interval; warm-up end mirrors the report phase breakdown.
+    """
+    width = (
+        config.trace_window
+        if config.trace_window is not None
+        else config.sample_interval
+    )
+    warmup = 0.0
+    if config.prop is not None:
+        warmup = min(
+            config.duration,
+            float(config.prop.max_init_trial) * float(config.prop.init_timer),
+        )
+    return [
+        WindowedCounts(width),
+        ConvergenceMonitor(config.duration, warmup_end=warmup),
+    ]
 
 
 def build_world(config: ExperimentConfig) -> World:
@@ -253,8 +294,12 @@ def build_world(config: ExperimentConfig) -> World:
 
     sim = Simulator()
     tracer: Tracer | None = None
-    if config.trace:
-        tracer = Tracer(clock=lambda: sim.now)
+    if config.trace or config.trace_streaming:
+        tracer = Tracer(
+            clock=lambda: sim.now,
+            streaming=config.trace_streaming,
+            consumers=monitor_consumers(config) if config.trace_streaming else (),
+        )
     engine: PROPEngine | None = None
     ltm: LTMOptimizer | None = None
     transport: SimTransport | FaultyTransport | None = None
@@ -434,6 +479,8 @@ def run_experiment(
     *,
     measure_lookups: bool = True,
     profiler: Any = None,
+    consumers: Any = None,
+    sample_hook: Any = None,
 ) -> ExperimentResult:
     """Run the deployment and sample metrics every ``sample_interval``.
 
@@ -443,6 +490,15 @@ def run_experiment(
     :class:`~repro.harness.profiler.StageProfiler`; when given, the
     wall-clock split between world building, event processing, and
     metric sampling lands in the result's ``profile`` field.
+
+    ``consumers`` are extra :class:`~repro.obs.trace.TraceConsumer`
+    subscribers added to the run's tracer (requires ``config.trace`` or
+    ``config.trace_streaming``).  Consumers exposing ``on_sample(t,
+    latency_ms)`` (e.g. :class:`~repro.obs.monitor.ConvergenceMonitor`)
+    are additionally fed every finite lookup-latency sample.
+    ``sample_hook(t, status)`` is called after each sampling step with
+    the first monitor's :class:`~repro.obs.monitor.MonitorStatus` (or
+    None) — the CLI's ``--monitor`` progress line hangs off it.
     """
     from contextlib import nullcontext
 
@@ -451,6 +507,11 @@ def run_experiment(
 
     with _stage("build_world"):
         world = build_world(config)
+    if consumers:
+        if world.tracer is None:
+            raise ValueError("consumers need config.trace or config.trace_streaming")
+        for consumer in consumers:
+            world.tracer.add_consumer(consumer)
     n_samples = int(np.floor(config.duration / config.sample_interval)) + 1
     times = np.arange(n_samples) * config.sample_interval
 
@@ -480,11 +541,27 @@ def run_experiment(
             probes[i] = world.ltm.counters.rounds
             messages[i] = world.ltm.counters.detector_messages
             exchanges[i] = world.ltm.counters.cuts + world.ltm.counters.adds
+        if world.tracer is not None and lookup_series[i] == lookup_series[i]:
+            for consumer in world.tracer.consumers:
+                on_sample = getattr(consumer, "on_sample", None)
+                if on_sample is not None:
+                    on_sample(float(t), float(lookup_series[i]))
+        if sample_hook is not None:
+            status = None
+            if world.tracer is not None:
+                for consumer in world.tracer.consumers:
+                    get_status = getattr(consumer, "status", None)
+                    if callable(get_status):
+                        status = get_status()
+                        break
+            sample_hook(float(t), status)
 
     if isinstance(world.engine, MessagePROPEngine):
         # exchanges still awaiting votes when the run ends are recorded
         # as aborted so the trace has no half-open 2PC timelines
         world.engine.finalize_trace()
+    if world.tracer is not None:
+        world.tracer.close(float(times[-1]))
     final = world.engine.counters if world.engine is not None else (
         world.ltm.counters if world.ltm is not None else None
     )
@@ -503,6 +580,15 @@ def run_experiment(
             world.engine.net_counters
             if isinstance(world.engine, MessagePROPEngine) else None
         ),
-        trace=world.tracer.events if world.tracer is not None else None,
+        trace=(
+            world.tracer.events
+            if world.tracer is not None and not world.tracer.streaming
+            else None
+        ),
         profile=dict(profiler.timings) if profiler is not None else None,
+        consumers=(
+            list(world.tracer.consumers)
+            if world.tracer is not None and world.tracer.consumers
+            else None
+        ),
     )

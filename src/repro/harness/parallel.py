@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 __all__ = [
+    "ProgressRollup",
     "Task",
     "TaskEvent",
     "TaskError",
@@ -85,6 +86,83 @@ class TaskError(RuntimeError):
 
 
 ProgressCallback = Callable[[TaskEvent], None]
+
+
+class ProgressRollup:
+    """Fold :class:`TaskEvent` streams into one fleet-level status line.
+
+    The per-task rollup behind ``--monitor`` for ``sweep`` and
+    ``replicate``: counts starts/dones/retries/failures over a known
+    task total and estimates time remaining from the mean elapsed time
+    of completed tasks — using only the ``elapsed`` values the events
+    carry, never a clock of its own (the CLI owns wall-clock concerns).
+
+    Use it as the ``progress`` callback directly, or wrap another
+    callback via ``chain`` to keep existing rendering:
+
+    >>> rollup = ProgressRollup(len(tasks))
+    >>> run_tasks(tasks, progress=rollup.chain(render))
+    """
+
+    def __init__(self, total: int) -> None:
+        if total < 0:
+            raise ValueError("total must be >= 0")
+        self.total = int(total)
+        self.started = 0
+        self.done = 0
+        self.retries = 0
+        self.failed = 0
+        self.elapsed_done: list[float] = []
+        self.last_label: str | None = None
+
+    def __call__(self, event: TaskEvent) -> None:
+        self.last_label = event.label
+        if event.status == "start":
+            self.started += 1
+        elif event.status == "done":
+            self.done += 1
+            self.elapsed_done.append(float(event.elapsed))
+        elif event.status == "retry":
+            self.retries += 1
+        elif event.status == "failed":
+            self.failed += 1
+
+    def chain(self, other: ProgressCallback | None) -> ProgressCallback:
+        """A callback that updates this rollup, then forwards to ``other``."""
+
+        def forward(event: TaskEvent) -> None:
+            self(event)
+            if other is not None:
+                other(event)
+
+        return forward
+
+    def eta_seconds(self, workers: int = 1) -> float | None:
+        """Remaining-time estimate from mean completed-task elapsed time.
+
+        ``None`` until at least one task has completed.  Assumes the
+        remaining tasks cost the mean observed elapsed time, spread over
+        ``workers`` lanes — a coarse but monotone-improving estimate.
+        """
+        if not self.elapsed_done:
+            return None
+        mean = sum(self.elapsed_done) / len(self.elapsed_done)
+        remaining = max(0, self.total - self.done)
+        return mean * remaining / max(1, int(workers))
+
+    def render(self, *, workers: int = 1) -> str:
+        """One status line, e.g. ``[3/8] running seed=5  eta ~42s``."""
+        parts = [f"[{self.done}/{self.total}]"]
+        if self.done < self.total and self.last_label is not None:
+            parts.append(f"running {self.last_label}")
+        if self.retries:
+            parts.append(f"retries {self.retries}")
+        if self.failed:
+            parts.append(f"failed {self.failed}")
+        eta = self.eta_seconds(workers)
+        if eta is not None and self.done < self.total:
+            parts.append(f"eta ~{eta:.0f}s")
+        return "  ".join(parts)
 
 
 def effective_workers(workers: int | None, n_tasks: int) -> int:

@@ -45,10 +45,18 @@ def run_sweep(
 
     ``progress`` receives structured
     :class:`~repro.harness.parallel.TaskEvent` notifications (label,
-    status, elapsed) as each config starts, finishes, or is retried.
+    status, elapsed) as each config starts, finishes, or is retried;
+    wrap a :class:`~repro.harness.parallel.ProgressRollup` around it for
+    the fleet-level done/total + ETA line behind the CLI's ``--monitor``.
     With ``profile=True`` each result carries its worker's wall-clock
     stage timings (merge across results with
     :func:`repro.harness.profiler.merge_profiles`).
+
+    Configs with ``trace_streaming=True`` run their streaming consumers
+    *inside* the worker (reconstructed deterministically from the config
+    by :func:`~repro.harness.experiment.monitor_consumers`) and ship the
+    finished consumers back on ``result.consumers`` — aggregates are
+    identical to a serial run of the same config.
     """
     tasks = [
         Task(label, _sweep_task, (cfg, measure_lookups, profile))

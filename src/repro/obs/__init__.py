@@ -1,16 +1,22 @@
 """repro.obs — structured event tracing, unified metrics, run reports.
 
-Three layers, each usable alone:
+Five layers, each usable alone:
 
 * :mod:`repro.obs.events` / :mod:`repro.obs.trace` — the typed event
   schema and the :class:`Tracer` event bus the engines and transports
-  emit into (``NullTracer`` when off: one attribute check, zero cost);
+  emit into (``NullTracer`` when off: one attribute check, zero cost;
+  ``streaming=True`` dispatches to subscribers and discards raw events);
+* :mod:`repro.obs.live` / :mod:`repro.obs.monitor` — the active half:
+  windowed online aggregators and the convergence detectors behind the
+  CLI's ``--monitor`` progress line;
 * :mod:`repro.obs.registry` — the unified :class:`MetricsRegistry`
   that absorbs the legacy ProtocolCounters / NetCounters /
   TransportStats surfaces into one namespace;
 * :mod:`repro.obs.report` / :mod:`repro.obs.analyze` — per-run
   :class:`RunReport` artifacts and the ``python -m repro.obs`` trace
-  analyzer.
+  analyzer;
+* :mod:`repro.obs.bench_history` — append-only benchmark history and
+  the ``bench-check`` regression gate.
 
 This package never imports from the harness or the engines — they
 import it.
@@ -22,6 +28,16 @@ from repro.obs.analyze import (
     load_trace,
     reconstruct_timelines,
     render_timelines,
+)
+from repro.obs.bench_history import (
+    HISTORY_SCHEMA,
+    CheckResult,
+    append_record,
+    check_history,
+    current_git_rev,
+    history_record,
+    load_history,
+    render_check,
 )
 from repro.obs.events import (
     EVENT_TYPES,
@@ -43,6 +59,22 @@ from repro.obs.events import (
     events_from_jsonl,
     events_to_jsonl,
 )
+from repro.obs.live import (
+    HistStat,
+    MeanStat,
+    Window,
+    WindowedCounts,
+    WindowedHistogram,
+    WindowedMean,
+    replay,
+)
+from repro.obs.monitor import (
+    ConvergenceMonitor,
+    ExchangeEfficacy,
+    MonitorStatus,
+    ThrashDetector,
+    format_status,
+)
 from repro.obs.registry import (
     NET_TABLE_COLUMNS,
     VAR_BUCKETS,
@@ -59,6 +91,7 @@ from repro.obs.registry import (
 from repro.obs.report import (
     REPORT_SCHEMA,
     RunReport,
+    build_replicate_report,
     build_run_report,
     config_fingerprint,
     diff_reports,
@@ -66,26 +99,40 @@ from repro.obs.report import (
     render_markdown,
     save_report,
 )
-from repro.obs.trace import NULL_TRACER, NullTracer, Tracer, TracerLike
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceConsumer,
+    Tracer,
+    TracerLike,
+    write_events_jsonl,
+)
 
 __all__ = [
     "EVENT_TYPES",
+    "HISTORY_SCHEMA",
     "NET_TABLE_COLUMNS",
     "NULL_TRACER",
     "REPORT_SCHEMA",
     "VAR_BUCKETS",
+    "CheckResult",
     "ChurnJoin",
     "ChurnLeave",
+    "ConvergenceMonitor",
     "Counter",
     "Event",
     "ExchangeAbortEvent",
     "ExchangeCommitEvent",
+    "ExchangeEfficacy",
     "ExchangePrepareEvent",
     "ExchangeTimeline",
     "ExchangeTimeoutEvent",
     "Gauge",
+    "HistStat",
     "Histogram",
+    "MeanStat",
     "MetricsRegistry",
+    "MonitorStatus",
     "MsgDeliverEvent",
     "MsgDropEvent",
     "MsgSendEvent",
@@ -93,26 +140,42 @@ __all__ = [
     "NullTracer",
     "ProbeEvent",
     "RunReport",
+    "ThrashDetector",
     "TraceAnalysis",
+    "TraceConsumer",
     "Tracer",
     "TracerLike",
     "VarCollectEvent",
+    "Window",
+    "WindowedCounts",
+    "WindowedHistogram",
+    "WindowedMean",
     "absorb_net_counters",
     "absorb_protocol_counters",
     "absorb_transport_stats",
+    "append_record",
+    "build_replicate_report",
     "build_run_report",
+    "check_history",
     "config_fingerprint",
+    "current_git_rev",
     "diff_reports",
     "event_from_dict",
     "event_to_dict",
     "events_from_jsonl",
     "events_to_jsonl",
+    "format_status",
+    "history_record",
+    "load_history",
     "load_report",
     "load_trace",
     "net_summary_rows",
     "reconstruct_timelines",
     "registry_from_result",
+    "render_check",
     "render_markdown",
     "render_timelines",
+    "replay",
     "save_report",
+    "write_events_jsonl",
 ]

@@ -9,6 +9,10 @@ Subcommands:
   reports.
 * ``render REPORT.json [-o OUT.md]`` — render a run report to
   markdown (stdout by default).
+* ``bench-check [HISTORY.jsonl]`` — gate the newest record of every
+  bench in the history file against its trailing median.  Exit codes:
+  0 pass, 1 regression, 2 missing/empty history (``--report-only``
+  reports regressions but still exits 0, for PR CI).
 """
 
 from __future__ import annotations
@@ -19,6 +23,14 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.obs.analyze import load_trace, reconstruct_timelines, render_timelines
+from repro.obs.bench_history import (
+    DEFAULT_HISTORY,
+    DEFAULT_THRESHOLD,
+    DEFAULT_WINDOW,
+    check_history,
+    load_history,
+    render_check,
+)
 from repro.obs.report import diff_reports, load_report, render_markdown
 
 
@@ -43,6 +55,22 @@ def _cmd_render(args: argparse.Namespace) -> int:
         out.write_text(text, encoding="utf-8")
         print(f"wrote {out}")
     return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    records = load_history(args.history)
+    if not records:
+        print(f"bench-check: no usable history at {args.history}", file=sys.stderr)
+        return 2
+    results = check_history(
+        records, window=args.window, threshold=args.threshold
+    )
+    print(render_check(results, threshold=args.threshold))
+    regressed = any(r.status == "regression" for r in results)
+    if regressed and args.report_only:
+        print("bench-check: report-only mode, not failing", file=sys.stderr)
+        return 0
+    return 1 if regressed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +99,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_render.add_argument("report", help="report JSON (from --report)")
     p_render.add_argument("-o", "--output", default=None, help="output .md path")
     p_render.set_defaults(func=_cmd_render)
+
+    p_check = sub.add_parser(
+        "bench-check", help="gate benchmark history against trailing medians"
+    )
+    p_check.add_argument(
+        "history", nargs="?", default=str(DEFAULT_HISTORY),
+        help=f"history JSONL (default {DEFAULT_HISTORY})",
+    )
+    p_check.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW,
+        help=f"trailing records per metric for the median (default {DEFAULT_WINDOW})",
+    )
+    p_check.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help=f"relative regression threshold (default {DEFAULT_THRESHOLD})",
+    )
+    p_check.add_argument(
+        "--report-only", action="store_true",
+        help="print the verdict but exit 0 even on regression (PR CI)",
+    )
+    p_check.set_defaults(func=_cmd_bench_check)
     return parser
 
 

@@ -27,6 +27,7 @@ from repro.obs.registry import _as_flat_items, registry_from_result
 __all__ = [
     "REPORT_SCHEMA",
     "RunReport",
+    "build_replicate_report",
     "build_run_report",
     "config_fingerprint",
     "diff_reports",
@@ -120,6 +121,53 @@ def build_run_report(result: Any, *, profile: Mapping[str, float] | None = None)
         phases=_phase_breakdown(config),
         event_counts=event_counts,
         profile=dict(timings) if timings else {},
+        samples={k: v for k, v in samples.items() if v == v},  # drop NaNs
+    )
+
+
+def build_replicate_report(summary: Any) -> RunReport:
+    """Assemble one aggregate report for a replicated run.
+
+    ``summary`` is a :class:`repro.harness.replicate.ReplicationSummary`
+    (duck-typed, like :func:`registry_from_result`).  The result is an
+    *ordinary* :class:`RunReport` — metrics are per-metric means over
+    the per-seed reports (plus a ``replicate.n_replicas`` marker), trace
+    event counts are summed, and the samples block carries the
+    cross-seed spread — so the existing ``diff`` / ``render`` machinery
+    applies to replicated runs unchanged.
+    """
+    per_seed = [build_run_report(result) for result in summary.results]
+    if not per_seed:
+        raise ValueError("replication summary has no results")
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for rep in per_seed:
+        for name, value in _as_flat_items(rep.metrics):
+            sums[name] = sums.get(name, 0.0) + value
+            counts[name] = counts.get(name, 0) + 1
+    metrics: dict[str, Any] = {name: sums[name] / counts[name] for name in sorted(sums)}
+    metrics["replicate.n_replicas"] = float(summary.n_replicas)
+    event_counts: dict[str, int] = {}
+    for rep in per_seed:
+        for name, count in rep.event_counts.items():
+            event_counts[name] = event_counts.get(name, 0) + count
+    latency = summary.lookup_latency
+    samples = {
+        "final_lookup_latency_ms_mean": float(latency.mean[-1]),
+        "final_lookup_latency_ms_std": float(latency.std[-1]),
+        "final_lookup_latency_ms_min": float(latency.low[-1]),
+        "final_lookup_latency_ms_max": float(latency.high[-1]),
+        "improvement_ratio_mean": float(summary.mean_improvement()),
+        "improvement_ratio_std": float(summary.std_improvement()),
+    }
+    config = summary.config
+    return RunReport(
+        fingerprint=config_fingerprint(config),
+        seed=int(summary.seeds[0]),
+        duration=float(config.duration),
+        metrics=metrics,
+        phases=_phase_breakdown(config),
+        event_counts=dict(sorted(event_counts.items())),
         samples={k: v for k, v in samples.items() if v == v},  # drop NaNs
     )
 

@@ -8,24 +8,41 @@ Instrumentation sites follow one pattern::
 With the default :class:`NullTracer` the hot path pays exactly one
 attribute check — the event object is never constructed.  A real
 :class:`Tracer` stamps each event with the simulation clock it was
-handed at construction and appends it to an in-memory list; the list is
-plain picklable dataclasses, so a worker process can ship its trace
-back through :mod:`repro.harness.parallel` unchanged.
+handed at construction and, in the default **buffered** mode, appends it
+to an in-memory list; the list is plain picklable dataclasses, so a
+worker process can ship its trace back through
+:mod:`repro.harness.parallel` unchanged.
+
+**Streaming** mode (``streaming=True``) is the active half of the
+observability plane: each event is dispatched to the registered
+:class:`TraceConsumer` subscribers and then *discarded*, so a long run
+retains O(windows) of aggregate state instead of O(events) of raw
+trace.  Consumers observe the identical event sequence in either mode —
+the byte-determinism guarantee extends to what subscribers see, which is
+what makes streaming aggregates comparable to post-mortem replays of a
+buffered trace (:func:`repro.obs.live.replay`).
 
 The tracer deliberately has no I/O of its own beyond
-:meth:`Tracer.write_jsonl`; keeping events in memory until the run ends
-is what makes the serial and multi-process traces byte-identical
-(workers cannot interleave writes into one file).
+:meth:`Tracer.write_jsonl` / :func:`write_events_jsonl`; keeping events
+in memory until the run ends is what makes the serial and multi-process
+traces byte-identical (workers cannot interleave writes into one file).
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Protocol
+from typing import Callable, Iterable, Protocol
 
 from repro.obs.events import Event, events_to_jsonl
 
-__all__ = ["NullTracer", "Tracer", "TracerLike", "NULL_TRACER"]
+__all__ = [
+    "NullTracer",
+    "TraceConsumer",
+    "Tracer",
+    "TracerLike",
+    "NULL_TRACER",
+    "write_events_jsonl",
+]
 
 
 class TracerLike(Protocol):
@@ -35,6 +52,25 @@ class TracerLike(Protocol):
 
     def emit(self, event_cls: type[Event], **payload: object) -> None:
         """Record one event (no-op when tracing is off)."""
+        ...  # pragma: no cover - protocol signature
+
+
+class TraceConsumer(Protocol):
+    """A streaming subscriber on the tracer bus.
+
+    Consumers receive every event in emission order (nondecreasing
+    simulation time) and a final :meth:`finish` when the run ends, so
+    windowed aggregators can flush their last open window.  Consumer
+    state must be picklable: worker processes ship their consumers back
+    whole, exactly as buffered tracers ship their event lists.
+    """
+
+    def on_event(self, event: Event) -> None:
+        """Observe one event."""
+        ...  # pragma: no cover - protocol signature
+
+    def finish(self, end_time: float) -> None:
+        """The run ended at simulated ``end_time``; flush open state."""
         ...  # pragma: no cover - protocol signature
 
 
@@ -55,8 +91,20 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 
+def write_events_jsonl(events: Iterable[Event], path: str | Path) -> Path:
+    """Write ``events`` to ``path`` in canonical JSONL form.
+
+    The single write path for traces: parent directories are created,
+    the content is exactly :func:`~repro.obs.events.events_to_jsonl`.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(events_to_jsonl(events), encoding="utf-8")
+    return path
+
+
 class Tracer:
-    """In-memory, sim-time-stamped event collector.
+    """Sim-time-stamped event collector with optional streaming dispatch.
 
     Parameters
     ----------
@@ -64,16 +112,55 @@ class Tracer:
         Zero-argument callable returning the current simulation time;
         typically ``lambda: sim.now``.  Defaults to a constant 0.0 for
         unit tests that construct events outside a simulation.
+    streaming:
+        When True, events are dispatched to ``consumers`` and then
+        discarded instead of buffered — memory stays bounded by the
+        consumers' aggregate state (O(windows)) for arbitrarily long
+        runs.  ``events`` stays empty in this mode.
+    consumers:
+        Initial :class:`TraceConsumer` subscribers.  Consumers are
+        notified in registration order on every emit, in both modes.
     """
 
     enabled: bool = True
 
-    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        *,
+        streaming: bool = False,
+        consumers: Iterable[TraceConsumer] = (),
+    ) -> None:
         self._clock: Callable[[], float] = clock if clock is not None else lambda: 0.0
+        self.streaming = bool(streaming)
+        self.consumers: list[TraceConsumer] = list(consumers)
         self.events: list[Event] = []
+        self._closed = False
+
+    def add_consumer(self, consumer: TraceConsumer) -> None:
+        """Subscribe ``consumer`` to every subsequent event."""
+        self.consumers.append(consumer)
 
     def emit(self, event_cls: type[Event], **payload: object) -> None:
-        self.events.append(event_cls(time=self._clock(), **payload))  # type: ignore[arg-type]
+        event = event_cls(time=self._clock(), **payload)  # type: ignore[arg-type]
+        for consumer in self.consumers:
+            consumer.on_event(event)
+        if not self.streaming:
+            self.events.append(event)
+
+    def close(self, end_time: float | None = None) -> None:
+        """Notify consumers the run ended (idempotent).
+
+        ``end_time`` defaults to the clock's current reading; pass the
+        run's final sample time explicitly so window flushes do not
+        depend on where the clock happened to stop.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        final = float(end_time) if end_time is not None else float(self._clock())
+        for consumer in self.consumers:
+            consumer.finish(final)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -84,7 +171,4 @@ class Tracer:
 
     def write_jsonl(self, path: str | Path) -> Path:
         """Write the trace to ``path``; parent directories are created."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_jsonl(), encoding="utf-8")
-        return path
+        return write_events_jsonl(self.events, path)

@@ -12,6 +12,7 @@ import time
 import pytest
 
 from repro.harness.parallel import (
+    ProgressRollup,
     Task,
     TaskError,
     TaskEvent,
@@ -146,6 +147,56 @@ class TestFallback:
         results = run_tasks(_tasks(3), workers=3, progress=events.append)
         assert results == {"t0": 0, "t1": 1, "t2": 4}
         assert all(e.status in ("start", "done") for e in events)
+
+
+class TestProgressRollup:
+    def test_counts_fold_from_events(self):
+        rollup = ProgressRollup(3)
+        rollup(TaskEvent("a", "start"))
+        rollup(TaskEvent("a", "done", 2.0))
+        rollup(TaskEvent("b", "start"))
+        rollup(TaskEvent("b", "retry", 1.0, "worker process died"))
+        assert (rollup.started, rollup.done, rollup.retries) == (2, 1, 1)
+
+    def test_eta_from_mean_elapsed(self):
+        rollup = ProgressRollup(4)
+        rollup(TaskEvent("a", "done", 2.0))
+        rollup(TaskEvent("b", "done", 4.0))
+        assert rollup.eta_seconds() == pytest.approx(6.0)  # 2 left * mean 3s
+        assert rollup.eta_seconds(workers=2) == pytest.approx(3.0)
+
+    def test_eta_none_before_first_completion(self):
+        assert ProgressRollup(4).eta_seconds() is None
+
+    def test_render_line(self):
+        rollup = ProgressRollup(2)
+        rollup(TaskEvent("seed=1", "start"))
+        rollup(TaskEvent("seed=1", "done", 3.0))
+        line = rollup.render()
+        assert line.startswith("[1/2]")
+        assert "eta ~3s" in line
+
+    def test_render_complete_drops_eta(self):
+        rollup = ProgressRollup(1)
+        rollup(TaskEvent("t", "done", 3.0))
+        assert rollup.render() == "[1/1]"
+
+    def test_chain_updates_then_forwards(self):
+        rollup = ProgressRollup(1)
+        seen: list[int] = []
+        chained = rollup.chain(lambda event: seen.append(rollup.done))
+        chained(TaskEvent("t", "done", 1.0))
+        assert seen == [1]  # rollup already updated when forwarded
+
+    def test_rollup_as_progress_callback(self):
+        rollup = ProgressRollup(3)
+        run_tasks(_tasks(3), progress=rollup)
+        assert rollup.done == 3
+        assert len(rollup.elapsed_done) == 3
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressRollup(-1)
 
 
 class TestEffectiveWorkers:

@@ -169,10 +169,43 @@ class TestObservabilityFlags:
             main(self.COMMON + ["--seeds", "0,1",
                                 "--trace", str(tmp_path / "t.jsonl")])
 
-    def test_report_rejects_seeds(self, tmp_path):
-        with pytest.raises(SystemExit):
-            main(self.COMMON + ["--seeds", "0,1",
-                                "--report", str(tmp_path / "r.json")])
+    def test_report_with_seeds_writes_aggregate_report(self, tmp_path, capsys):
+        from repro.obs.report import load_report
+
+        path = tmp_path / "agg.json"
+        assert main(self.COMMON + ["--seeds", "0,1", "--report", str(path)]) == 0
+        report = load_report(path)
+        assert report.metrics.get("replicate.n_replicas") == 2.0
+        assert "final_lookup_latency_ms_mean" in report.samples
+        assert "final_lookup_latency_ms_std" in report.samples
+        assert report.seed == 0  # first seed identifies the family
+        assert "aggregate report (2 seeds)" in capsys.readouterr().err
+
+    def test_empty_trace_warns_on_stderr(self, tmp_path, capsys):
+        # no optimizer -> no protocol activity -> zero events; the file
+        # is still written (empty) but the CLI must say so
+        path = tmp_path / "empty.jsonl"
+        argv = [
+            "run", "--preset", "ts-small", "--n", "60",
+            "--duration", "300", "--sample-interval", "150", "--lookups", "20",
+            "--trace", str(path),
+        ]
+        assert main(argv) == 0
+        assert path.exists() and path.read_text() == ""
+        err = capsys.readouterr().err
+        assert "warning" in err and "no trace events" in err
+
+    def test_monitor_prints_live_status_lines(self, capsys):
+        assert main(self.COMMON + ["--monitor"]) == 0
+        err = capsys.readouterr().err
+        assert "[warmup]" in err or "[maintenance]" in err
+        assert "[done]" in err
+        assert "exch" in err
+
+    def test_monitor_with_seeds_prints_rollup(self, capsys):
+        assert main(self.COMMON + ["--seeds", "0,1", "--monitor"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/2]" in err and "[2/2]" in err
 
     def test_profile_prints_stage_table(self, capsys):
         assert main(self.COMMON + ["--profile"]) == 0
