@@ -1,6 +1,6 @@
 # Convenience targets for the PROP reproduction.
 
-.PHONY: install test bench bench-obs bench-check monitor-demo figures examples report lint analyze analyze-baseline all
+.PHONY: install test bench bench-obs bench-oracle bench-check monitor-demo figures examples report lint analyze analyze-baseline all
 
 # ruff (configured in pyproject.toml) when available; offline images
 # fall back to the dependency-free subset checker in tools/lint.py.
@@ -20,7 +20,7 @@ analyze:
 	python -m tools.reprolint
 	@$(MAKE) --no-print-directory lint
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy --strict -p repro.core -p repro.net -p repro.metrics; \
+		mypy --strict -p repro.core -p repro.net -p repro.metrics -p repro.topology; \
 	else \
 		echo "mypy not installed; skipping strict typing gate"; \
 	fi
@@ -41,6 +41,13 @@ bench:
 # tracing, best-of-3, written to BENCH_obs.json (docs/observability.md).
 bench-obs:
 	PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+# Latency-oracle backends at paper scale: setup cost / resident state
+# per backend plus the PROP-G convergence parity check (vivaldi within
+# 15% of exact, both scored by the exact oracle).  Records land in
+# benchmarks/history.jsonl for bench-check.
+bench-oracle:
+	pytest benchmarks/bench_oracle.py --benchmark-only
 
 # Noise-aware regression gate over benchmarks/history.jsonl: the newest
 # record per bench vs the trailing median of its predecessors.  Exit

@@ -19,13 +19,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.topology.latency import LatencyOracle
+from repro.topology.latency import LatencyOracleBase
 
 __all__ = ["landmark_vectors", "pis_embedding"]
 
 
 def landmark_vectors(
-    oracle: LatencyOracle,
+    oracle: LatencyOracleBase,
     n_landmarks: int,
     rng: np.random.Generator,
 ) -> np.ndarray:
@@ -39,11 +39,12 @@ def landmark_vectors(
     if not 1 <= n_landmarks <= n:
         raise ValueError(f"need 1..{n} landmarks, got {n_landmarks}")
     landmarks = rng.choice(n, size=n_landmarks, replace=False)
-    return oracle.matrix[:, landmarks]
+    # column block via rows(): oracle estimates are symmetric by contract
+    return np.ascontiguousarray(oracle.rows(landmarks).T)
 
 
 def pis_embedding(
-    oracle: LatencyOracle,
+    oracle: LatencyOracleBase,
     rng: np.random.Generator,
     *,
     n_landmarks: int = 8,

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.overlay.chord import ChordOverlay
 from repro.overlay.ids import unique_ids
-from repro.topology.latency import LatencyOracle
+from repro.topology.latency import LatencyOracleBase
 
 __all__ = ["PNSChordOverlay"]
 
@@ -37,7 +37,7 @@ class PNSChordOverlay(ChordOverlay):
     @classmethod
     def build(
         cls,
-        oracle: LatencyOracle,
+        oracle: LatencyOracleBase,
         rng: np.random.Generator,
         *,
         bits: int | None = None,
@@ -62,7 +62,7 @@ class PNSChordOverlay(ChordOverlay):
         n = self.n_slots
         ids = self.ids
         emb = self.embedding
-        mat = self.oracle.matrix
+        oracle = self.oracle
         self.fingers = []
         id_list = ids  # sorted ascending; slot == rank
         for i in range(n):
@@ -82,7 +82,7 @@ class PNSChordOverlay(ChordOverlay):
                 if not members:
                     continue
                 cand = np.asarray(members, dtype=np.intp)
-                best = int(cand[np.argmin(mat[emb[i], emb[cand]])])
+                best = int(cand[np.argmin(oracle.to_many(int(emb[i]), emb[cand]))])
                 if best not in seen:
                     seen.add(best)
                     targets.append(best)

@@ -30,6 +30,7 @@ from repro.core.config import PROPConfig
 from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.harness.parallel import TaskEvent
 from repro.harness.reporting import format_series, format_table
+from repro.topology.factory import ORACLE_BACKENDS
 from repro.topology.presets import TS_LARGE, TS_SMALL
 
 __all__ = ["main", "build_parser"]
@@ -49,6 +50,10 @@ def build_parser() -> argparse.ArgumentParser:
                      default="ts-large",
                      help="physical topology preset (default: ts-large)")
     run.add_argument("--n", type=int, default=1000, help="overlay size (default: 1000)")
+    run.add_argument("--oracle", choices=list(ORACLE_BACKENDS), default="exact",
+                     help="latency oracle backend: exact O(n^2) matrix, vivaldi "
+                          "O(n*dim) coordinates, or landmark O(n*m) triangulation "
+                          "(default: exact)")
     run.add_argument("--seed", type=int, default=0, help="master seed (default: 0)")
     run.add_argument("--duration", type=float, default=3600.0,
                      help="simulated seconds (default: 3600)")
@@ -169,6 +174,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         preset=args.preset,
         overlay_kind=args.overlay,
         n_overlay=args.n,
+        oracle=args.oracle,
         prop=prop,
         ltm=ltm,
         heterogeneous=args.heterogeneous,

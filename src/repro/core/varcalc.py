@@ -110,12 +110,16 @@ def select_prop_o(
         return [], [], 0.0
 
     emb = overlay.embedding
-    mat = overlay.oracle.matrix
+    oracle = overlay.oracle
 
     cu = np.asarray(cand_u, dtype=np.intp)
     cv = np.asarray(cand_v, dtype=np.intp)
-    gain_u = mat[emb[u], emb[cu]] - mat[emb[v], emb[cu]]
-    gain_v = mat[emb[v], emb[cv]] - mat[emb[u], emb[cv]]
+    du_cu = oracle.to_many(int(emb[u]), emb[cu])
+    dv_cu = oracle.to_many(int(emb[v]), emb[cu])
+    dv_cv = oracle.to_many(int(emb[v]), emb[cv])
+    du_cv = oracle.to_many(int(emb[u]), emb[cv])
+    gain_u = du_cu - dv_cu
+    gain_v = dv_cv - du_cv
 
     if selection == "greedy":
         order_u = np.argsort(gain_u)[::-1]
@@ -132,8 +136,8 @@ def select_prop_o(
         return give_u, give_v, float(cum[k - 1])
 
     if selection == "farthest":
-        order_u = np.argsort(mat[emb[u], emb[cu]])[::-1][:k_max]
-        order_v = np.argsort(mat[emb[v], emb[cv]])[::-1][:k_max]
+        order_u = np.argsort(du_cu)[::-1][:k_max]
+        order_v = np.argsort(dv_cv)[::-1][:k_max]
     else:  # random
         order_u = rng.permutation(len(cu))[:k_max]
         order_v = rng.permutation(len(cv))[:k_max]

@@ -40,7 +40,8 @@ from repro.overlay.chord import ChordOverlay
 from repro.overlay.gnutella import GnutellaOverlay
 from repro.overlay.kademlia import KademliaOverlay
 from repro.overlay.pastry import PastryOverlay
-from repro.topology.latency import LatencyOracle
+from repro.topology.factory import ORACLE_BACKENDS, build_oracle
+from repro.topology.latency import LatencyOracleBase
 from repro.topology.presets import build_preset
 from repro.workloads.churn import ChurnConfig, ChurnProcess
 from repro.workloads.heterogeneity import (
@@ -75,6 +76,10 @@ class ExperimentConfig:
     n_spare: int = 0
     overlay_kind: str = "gnutella"  # gnutella | chord | can | pastry | kademlia
     overlay_options: dict[str, Any] = field(default_factory=dict)
+    # latency source: exact Dijkstra submatrix, Vivaldi synthetic
+    # coordinates, or landmark triangulation (repro.topology.factory)
+    oracle: str = "exact"
+    oracle_options: dict[str, Any] = field(default_factory=dict)
     # optimizers (at most one of prop / ltm)
     prop: PROPConfig | None = None
     ltm: LTMConfig | None = None
@@ -113,6 +118,11 @@ class ExperimentConfig:
     def __post_init__(self) -> None:
         if self.overlay_kind not in ("gnutella", "chord", "can", "pastry", "kademlia"):
             raise ValueError(f"unknown overlay kind {self.overlay_kind!r}")
+        if self.oracle not in ORACLE_BACKENDS:
+            raise ValueError(
+                f"unknown oracle backend {self.oracle!r}; "
+                f"choose from {ORACLE_BACKENDS}"
+            )
         if self.prop is not None and self.ltm is not None:
             raise ValueError("configure at most one optimizer (prop or ltm)")
         if self.n_overlay < 8:
@@ -174,7 +184,7 @@ class World:
     config: ExperimentConfig
     rngs: RngRegistry
     sim: Simulator
-    oracle: LatencyOracle
+    oracle: LatencyOracleBase
     overlay: Overlay
     het: BimodalDelay | None
     engine: PROPEngine | None
@@ -276,7 +286,12 @@ def build_world(config: ExperimentConfig) -> World:
             f"cannot place {need} overlay+spare members"
         )
     members = rngs.stream("membership").choice(stub, size=need, replace=False)
-    oracle = LatencyOracle(net, members)
+    # the Vivaldi fit draws from its own named stream derived from the
+    # master seed, so backend choice never perturbs any other component
+    oracle = build_oracle(
+        config.oracle, net, members,
+        seed=config.seed, options=config.oracle_options,
+    )
 
     het: BimodalDelay | None = None
     if config.heterogeneous:
@@ -382,7 +397,7 @@ def _build_transport(
 
 def _build_overlay(
     config: ExperimentConfig,
-    oracle: LatencyOracle,
+    oracle: LatencyOracleBase,
     embedding: np.ndarray,
     het: BimodalDelay | None,
     rngs: RngRegistry,
@@ -417,7 +432,7 @@ def _build_overlay(
 def _direct_mean(overlay: Overlay, src: np.ndarray, dst: np.ndarray) -> float:
     """Mean direct physical latency between slot pairs."""
     emb = overlay.embedding
-    return float(overlay.oracle.matrix[emb[src], emb[dst]].mean())
+    return float(overlay.oracle.pairwise(emb[src], emb[dst]).mean())
 
 
 def _sample_lookup_latency(world: World) -> tuple[float, float]:

@@ -27,6 +27,7 @@ _DESCRIPTIONS = {
     "fig6b": "PROP-G / Chord: stretch vs time, varying system size",
     "fig6c": "PROP-G / Chord: stretch vs time, two topologies",
     "fig7": "heterogeneous bimodal delays: PROP-O vs PROP-G vs LTM over fast-lookup fractions",
+    "oracle-error": "PROP-G convergence under exact vs vivaldi (dims) vs landmark oracles",
 }
 
 FIGURE_IDS = tuple(sorted(_DESCRIPTIONS))
@@ -92,6 +93,23 @@ def figure_configs(figure_id: str, *, scale: str = "paper") -> dict[str, Experim
         return {
             preset: _base(scale, overlay_kind=kind, preset=preset, prop=PROPConfig(policy="G"))
             for preset in ("ts-large", "ts-small")
+        }
+
+    if figure_id == "oracle-error":
+        # Beyond-paper: the same PROP-G deployment driven by each latency
+        # backend.  Embedding error shows up as convergence loss, so the
+        # curves separate exactly where the oracle misranks neighbors.
+        backends: dict[str, dict] = {
+            "exact": dict(oracle="exact"),
+            "vivaldi dim=2": dict(oracle="vivaldi", oracle_options={"dim": 2}),
+            "vivaldi dim=4": dict(oracle="vivaldi", oracle_options={"dim": 4}),
+            "vivaldi dim=8": dict(oracle="vivaldi", oracle_options={"dim": 8}),
+            "landmark": dict(oracle="landmark"),
+        }
+        return {
+            label: _base(scale, overlay_kind="gnutella",
+                         prop=PROPConfig(policy="G"), **kw)
+            for label, kw in backends.items()
         }
 
     # fig7

@@ -34,10 +34,17 @@ class LatencyDistribution:
 
 
 def summarize_latencies(values: np.ndarray) -> LatencyDistribution:
-    """Summarize a per-lookup latency vector (``inf`` = failed lookup)."""
+    """Summarize a per-lookup latency vector (``inf`` = failed lookup).
+
+    ``inf`` is the *only* failure sentinel; NaN is never a legal latency
+    and silently folding it into the failure count would mask upstream
+    arithmetic bugs, so NaN input raises ``ValueError``.
+    """
     values = np.asarray(values, dtype=np.float64)
     if values.ndim != 1 or values.size == 0:
         raise ValueError("need a non-empty 1-D latency vector")
+    if np.isnan(values).any():
+        raise ValueError("latency vector contains NaN (failures are inf, not NaN)")
     finite = values[np.isfinite(values)]
     failures = int(values.size - finite.size)
     if finite.size == 0:

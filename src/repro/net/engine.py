@@ -407,12 +407,16 @@ class MessagePROPEngine(PROPEngine):
                    give_v: tuple[int, ...]) -> float:
         """Var of the proposed trade on the current embedding (eq. 2)."""
         emb = self.overlay.embedding
-        mat = self.overlay.oracle.matrix
+        oracle = self.overlay.oracle
         var = 0.0
         for x in give_u:
-            var += float(mat[emb[u], emb[x]] - mat[emb[v], emb[x]])
+            var += oracle.between(int(emb[u]), int(emb[x])) - oracle.between(
+                int(emb[v]), int(emb[x])
+            )
         for y in give_v:
-            var += float(mat[emb[v], emb[y]] - mat[emb[u], emb[y]])
+            var += oracle.between(int(emb[v]), int(emb[y])) - oracle.between(
+                int(emb[u]), int(emb[y])
+            )
         return var
 
     # -- two-phase commit: initiator side ----------------------------------

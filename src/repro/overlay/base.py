@@ -18,10 +18,13 @@ The paper's two exchange primitives map onto this split exactly:
   preserved because exchanged neighbors never lie on the probe walk path
   (the Theorem 1 argument).
 
-Hot-path note: edge latency queries go through a dense numpy matrix with
-fancy indexing; the per-slot neighbor latency sum used by the Var test is
-a single vectorized reduction over a row view (no copies), per the HPC
-guide idioms.
+Hot-path note: edge latency queries go through the oracle protocol
+(:class:`~repro.topology.latency.LatencyOracleBase`) — on the exact
+backend these are dense fancy-indexed reads, and the per-slot neighbor
+latency sum used by the Var test is a single vectorized reduction over
+a row view (no copies), per the HPC guide idioms.  Approximate backends
+(Vivaldi coordinates, landmark triangulation) drop in behind the same
+five calls with O(n*dim) state instead of O(n^2).
 """
 
 from __future__ import annotations
@@ -31,7 +34,7 @@ from typing import Iterable, Iterator
 import networkx as nx
 import numpy as np
 
-from repro.topology.latency import LatencyOracle
+from repro.topology.latency import LatencyOracleBase
 
 __all__ = ["Overlay"]
 
@@ -56,7 +59,7 @@ class Overlay:
     #: is exactly the paper's protocol-applicability matrix.
     supports_rewiring: bool = True
 
-    def __init__(self, oracle: LatencyOracle, embedding: np.ndarray | Iterable[int]) -> None:
+    def __init__(self, oracle: LatencyOracleBase, embedding: np.ndarray | Iterable[int]) -> None:
         emb = np.array(list(embedding) if not isinstance(embedding, np.ndarray) else embedding,
                        dtype=np.intp)
         if emb.ndim != 1 or emb.size == 0:
@@ -163,7 +166,7 @@ class Overlay:
     def latency(self, a: int, b: int) -> float:
         """Physical latency (ms) between the hosts at slots ``a`` and ``b``."""
         emb = self.embedding
-        return float(self.oracle.matrix[emb[a], emb[b]])
+        return self.oracle.between(int(emb[a]), int(emb[b]))
 
     def latencies_from(self, slot: int, others: Iterable[int]) -> np.ndarray:
         """Vector of latencies from ``slot`` to each slot in ``others``."""
@@ -171,7 +174,7 @@ class Overlay:
         if others.size == 0:
             return np.empty(0, dtype=np.float64)
         emb = self.embedding
-        return self.oracle.matrix[emb[slot], emb[others]]
+        return self.oracle.to_many(int(emb[slot]), emb[others])
 
     def neighbor_latency_sum(self, slot: int) -> float:
         """``sum_{i in N(slot)} d(slot, i)`` — the Var building block."""
@@ -179,10 +182,10 @@ class Overlay:
         if not nbrs:
             return 0.0
         emb = self.embedding
-        # order-independent: commutative sum over one matrix row; per-run
+        # order-independent: commutative sum over one oracle row; per-run
         # order is fixed by the (seed-determined) edge insertion history
         idx = np.fromiter(nbrs, dtype=np.intp, count=len(nbrs))  # reprolint: disable=D3
-        return float(self.oracle.matrix[emb[slot], emb[idx]].sum())
+        return self.oracle.sum_to(int(emb[slot]), emb[idx])
 
     def mean_logical_edge_latency(self) -> float:
         """Mean latency over logical edges — the stretch numerator."""
@@ -190,7 +193,7 @@ class Overlay:
             return 0.0
         u, v = self.edge_arrays()
         emb = self.embedding
-        return float(self.oracle.matrix[emb[u], emb[v]].mean())
+        return float(self.oracle.pairwise(emb[u], emb[v]).mean())
 
     def total_neighbor_latency(self) -> float:
         """``sum_slots sum_{i in N(slot)} d(slot, i)`` (each edge twice).
@@ -202,7 +205,7 @@ class Overlay:
             return 0.0
         u, v = self.edge_arrays()
         emb = self.embedding
-        return 2.0 * float(self.oracle.matrix[emb[u], emb[v]].sum())
+        return 2.0 * float(self.oracle.pairwise(emb[u], emb[v]).sum())
 
     # -- mutation primitives used by PROP ---------------------------------
 

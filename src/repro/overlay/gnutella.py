@@ -168,7 +168,7 @@ class GnutellaOverlay(Overlay):
         """
         u, v = self.edge_arrays()
         emb = self.embedding
-        w = self.oracle.matrix[emb[u], emb[v]]
+        w = self.oracle.pairwise(emb[u], emb[v])
         tails = np.concatenate([u, v])
         heads = np.concatenate([v, u])
         weights = np.concatenate([w, w])
@@ -354,7 +354,7 @@ class GnutellaOverlay(Overlay):
         if src == dst:
             return 0.0
         emb = self.embedding
-        mat = self.oracle.matrix
+        oracle = self.oracle
         best = np.inf
         for _ in range(walkers):
             t = 0.0
@@ -364,7 +364,7 @@ class GnutellaOverlay(Overlay):
                 if not nbrs:
                     break
                 nxt = self.neighbor_list(cur)[int(rng.integers(0, len(nbrs)))]
-                t += float(mat[emb[cur], emb[nxt]])
+                t += oracle.between(int(emb[cur]), int(emb[nxt]))
                 cur = nxt
                 if cur == dst:
                     best = min(best, t)

@@ -126,7 +126,7 @@ class PastryOverlay(Overlay):
                 by_prefix.setdefault(d[:l], []).append(s)
 
         emb = self.embedding
-        mat = self.oracle.matrix
+        oracle = self.oracle
         for i in range(n):
             di = self.digits[i]
             table: dict[tuple[int, int], int] = {}
@@ -139,7 +139,7 @@ class PastryOverlay(Overlay):
                         continue
                     if self.proximity_aware:
                         c = np.asarray(cand, dtype=np.intp)
-                        best = int(c[np.argmin(mat[emb[i], emb[c]])])
+                        best = int(c[np.argmin(oracle.to_many(int(emb[i]), emb[c]))])
                     else:
                         best = cand[0]
                     table[(row, digit)] = best

@@ -5,12 +5,19 @@ The paper generates its physical Internet model with the GT-ITM tool
 transit nodes, and stub domains, with per-tier link latencies.  This
 package reimplements that construction (:mod:`~repro.topology.transit_stub`),
 the two presets the paper evaluates on (:mod:`~repro.topology.presets`:
-``ts-large`` and ``ts-small``), and a shortest-path latency oracle over
-the result (:mod:`~repro.topology.latency`).
+``ts-large`` and ``ts-small``), and pluggable latency oracles over the
+result: the exact shortest-path backend (:mod:`~repro.topology.latency`),
+Vivaldi synthetic coordinates (:mod:`~repro.topology.vivaldi`), and
+landmark triangulation (:mod:`~repro.topology.landmark`), selected via
+:func:`~repro.topology.factory.build_oracle` and memoized on disk by
+:mod:`~repro.topology.cache`.
 """
 
 from repro.topology.cache import cache_key, cached_oracle, valid_matrix
-from repro.topology.latency import LatencyOracle
+from repro.topology.factory import ORACLE_BACKENDS, build_oracle
+from repro.topology.landmark import LandmarkOracle
+from repro.topology.latency import LatencyOracle, LatencyOracleBase
+from repro.topology.vivaldi import VivaldiOracle
 from repro.topology.waxman import WaxmanParams, generate_waxman
 from repro.topology.presets import (
     TS_LARGE,
@@ -28,8 +35,13 @@ from repro.topology.transit_stub import (
 )
 
 __all__ = [
+    "LandmarkOracle",
     "LatencyOracle",
+    "LatencyOracleBase",
+    "ORACLE_BACKENDS",
+    "VivaldiOracle",
     "WaxmanParams",
+    "build_oracle",
     "cache_key",
     "cached_oracle",
     "valid_matrix",

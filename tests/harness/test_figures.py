@@ -5,8 +5,19 @@ import pytest
 from repro.harness.figures import FIGURE_IDS, figure_configs, figure_description
 
 
-def test_all_seven_figures_registered():
-    assert set(FIGURE_IDS) == {"fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig7"}
+def test_all_figures_registered():
+    assert set(FIGURE_IDS) == {
+        "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig7",
+        "oracle-error",
+    }
+
+
+def test_oracle_error_panel_covers_backends():
+    configs = figure_configs("oracle-error", scale="quick")
+    assert {cfg.oracle for cfg in configs.values()} == {"exact", "vivaldi", "landmark"}
+    dims = {cfg.oracle_options.get("dim") for cfg in configs.values()
+            if cfg.oracle == "vivaldi"}
+    assert len(dims) >= 3  # the dimensionality sweep
 
 
 def test_unknown_figure_rejected():

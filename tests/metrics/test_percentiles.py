@@ -36,6 +36,25 @@ def test_empty_rejected():
         summarize_latencies(np.array([]))
 
 
+def test_nan_rejected():
+    """NaN is never a legal latency: inf is the only failure sentinel,
+    so NaN must raise instead of silently joining the failure count."""
+    with pytest.raises(ValueError, match="NaN"):
+        summarize_latencies(np.array([1.0, np.nan, 3.0]))
+
+
+def test_all_nan_rejected():
+    with pytest.raises(ValueError, match="NaN"):
+        summarize_latencies(np.array([np.nan, np.nan]))
+
+
+def test_inf_still_accepted_as_failure():
+    """Pins the sentinel contract: inf counts as a failure, never raises."""
+    d = summarize_latencies(np.array([5.0, np.inf]))
+    assert d.failures == 1
+    assert d.mean == pytest.approx(5.0)
+
+
 def test_gnutella_distribution(gnutella):
     pairs = uniform_pairs(gnutella.n_slots, 100, np.random.default_rng(0))
     vals = gnutella.lookup_latencies(pairs)

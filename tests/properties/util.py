@@ -12,24 +12,37 @@ from __future__ import annotations
 import numpy as np
 
 from repro.overlay.base import Overlay
+from repro.topology.latency import LatencyOracleBase
 
 __all__ = ["FakeOracle", "random_connected_overlay", "random_prop_o_step"]
 
 
-class FakeOracle:
-    """Minimal LatencyOracle stand-in: a symmetric positive matrix."""
+class FakeOracle(LatencyOracleBase):
+    """Minimal oracle backend: a random symmetric positive matrix.
+
+    Implements the abstract :class:`LatencyOracleBase` surface so the
+    property suites exercise the same derived queries (``to_many``,
+    ``sum_to``, ...) the protocol uses, over a latency space with no
+    metric assumptions (the theorems hold without the triangle
+    inequality).
+    """
+
+    backend = "fake"
 
     def __init__(self, n: int, rng: np.random.Generator) -> None:
         raw = rng.random((n, n)) * 100.0 + 1.0
         self.matrix = np.triu(raw, 1)
         self.matrix = self.matrix + self.matrix.T
-        self.n = n
+        self.hosts = np.arange(n, dtype=np.int64)
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.matrix[a, b]
+
+    def state_nbytes(self) -> int:
+        return int(self.matrix.nbytes)
 
     def mean_physical_link(self) -> float:
         return float(self.matrix[np.triu_indices(self.n, 1)].mean())
-
-    def between(self, i: int, j: int) -> float:
-        return float(self.matrix[i, j])
 
 
 def random_connected_overlay(seed: int, n_min: int = 4, n_max: int = 20) -> Overlay:

@@ -98,6 +98,72 @@ def test_valid_matrix_predicate():
     assert not valid_matrix(np.array([[0.0, np.nan], [1.0, 0.0]]), 2)  # NaN
     assert not valid_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]), 2)  # diag != 0
     assert not valid_matrix([[0.0, 1.0], [1.0, 0.0]], 2)  # not an ndarray
+    assert not valid_matrix(np.array([[0.0, 1.0], [2.0, 0.0]]), 2)  # asymmetric
+
+
+def test_asymmetric_cache_regenerated(net, hosts, tmp_path):
+    """An asymmetric cached matrix is rejected and rebuilt — asymmetry
+    would silently skew every Var computation on an undirected substrate."""
+    cached_oracle(net, hosts, tmp_path)
+    path = next(tmp_path.glob("oracle-*.npy"))
+    bad = LatencyOracle(net, hosts).matrix.copy()
+    bad[0, 1] += 1.0  # break symmetry only
+    np.save(path, bad)
+    oracle = cached_oracle(net, hosts, tmp_path)
+    assert np.array_equal(oracle.matrix, LatencyOracle(net, hosts).matrix)
+
+
+def test_hit_path_goes_through_from_matrix(net, hosts, tmp_path, monkeypatch):
+    """Cache hits must reconstruct via the validating classmethod, never
+    ``__new__`` — constructor checks also guard the loaded path."""
+    cached_oracle(net, hosts, tmp_path)
+    calls = []
+    original = LatencyOracle.from_matrix.__func__
+
+    def spy(cls, network, hosts_, matrix):
+        calls.append(matrix.shape)
+        return original(cls, network, hosts_, matrix)
+
+    monkeypatch.setattr(LatencyOracle, "from_matrix", classmethod(spy))
+    oracle = cached_oracle(net, hosts, tmp_path)
+    assert calls == [(10, 10)]
+    assert np.array_equal(oracle.matrix, LatencyOracle(net, hosts).matrix)
+
+
+def test_key_changes_with_backend(net, hosts):
+    assert cache_key(net, hosts, "exact", {}) != cache_key(net, hosts, "vivaldi", {})
+
+
+def test_key_changes_with_params(net, hosts):
+    a = cache_key(net, hosts, "vivaldi", {"seed": 0, "dim": 4})
+    b = cache_key(net, hosts, "vivaldi", {"seed": 1, "dim": 4})
+    c = cache_key(net, hosts, "vivaldi", {"seed": 0, "dim": 8})
+    assert len({a, b, c}) == 3
+
+
+def test_backends_cached_side_by_side(net, tmp_path):
+    """All three backends round-trip through the cache and agree with a
+    freshly built oracle of the same backend."""
+    from repro.topology.factory import build_oracle
+
+    hosts = RngRegistry(1).stream("m").choice(net.n, size=40, replace=False)
+    for backend in ("exact", "vivaldi", "landmark"):
+        first = cached_oracle(net, hosts, tmp_path, backend=backend, seed=3)
+        again = cached_oracle(net, hosts, tmp_path, backend=backend, seed=3)
+        direct = build_oracle(backend, net, hosts, seed=3)
+        assert type(again) is type(direct)
+        assert np.array_equal(again.dense(), direct.dense())
+        assert np.array_equal(first.dense(), again.dense())
+    # one file per backend, none clobbered another's entry
+    assert len(list(tmp_path.glob("oracle-*.npy"))) == 1
+    assert len(list(tmp_path.glob("oracle-*.npz"))) == 2
+
+
+def test_vivaldi_cache_respects_seed(net, tmp_path):
+    hosts = RngRegistry(1).stream("m").choice(net.n, size=40, replace=False)
+    a = cached_oracle(net, hosts, tmp_path, backend="vivaldi", seed=0)
+    b = cached_oracle(net, hosts, tmp_path, backend="vivaldi", seed=1)
+    assert not np.array_equal(a.coords, b.coords)  # distinct fits, distinct entries
 
 
 def test_no_temp_files_left_behind(net, hosts, tmp_path):
