@@ -1,6 +1,6 @@
 # Convenience targets for the PROP reproduction.
 
-.PHONY: install test bench bench-obs bench-oracle bench-check monitor-demo figures examples report lint analyze analyze-baseline all
+.PHONY: install test bench bench-obs bench-oracle bench-live bench-check monitor-demo figures examples report lint analyze analyze-baseline all
 
 # ruff (configured in pyproject.toml) when available; offline images
 # fall back to the dependency-free subset checker in tools/lint.py.
@@ -48,6 +48,12 @@ bench-obs:
 # benchmarks/history.jsonl for bench-check.
 bench-oracle:
 	pytest benchmarks/bench_oracle.py --benchmark-only
+
+# Live-plane throughput: a 50-peer loopback-UDP swarm, recording
+# msgs/s and exchanges/s (wall) into benchmarks/history.jsonl for
+# bench-check.  Skips cleanly where loopback sockets are forbidden.
+bench-live:
+	PYTHONPATH=src python benchmarks/bench_live.py
 
 # Noise-aware regression gate over benchmarks/history.jsonl: the newest
 # record per bench vs the trailing median of its predecessors.  Exit

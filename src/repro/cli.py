@@ -85,9 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
         "message transport",
         "run PROP as request/response messages instead of inline cycles",
     )
-    net.add_argument("--transport", choices=["inline", "sim"], default="inline",
-                     help="protocol plane: 'inline' atomic cycles or 'sim' "
-                          "message-level over the event simulator (default: inline)")
+    net.add_argument("--transport", choices=["inline", "sim", "udp"], default="inline",
+                     help="protocol plane: 'inline' atomic cycles, 'sim' "
+                          "message-level over the event simulator, or 'udp' "
+                          "real messages over a loopback swarm "
+                          "(default: inline)")
+    net.add_argument("--speedup", type=float, default=60.0,
+                     help="udp only: protocol seconds per wall second "
+                          "(default: 60)")
     net.add_argument("--loss", type=float, default=0.0, metavar="P",
                      help="per-message drop probability in [0, 1) "
                           "(requires --transport sim)")
@@ -165,10 +170,12 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     elif args.ltm:
         ltm = LTMConfig()
     transport = None if args.transport == "inline" else args.transport
-    if transport is None and (args.loss or args.partition):
+    if transport != "sim" and (args.loss or args.partition):
         raise SystemExit("error: --loss/--partition require --transport sim")
     if transport is not None and prop is None:
-        raise SystemExit("error: --transport sim requires a PROP policy (--policy)")
+        raise SystemExit(
+            f"error: --transport {transport} requires a PROP policy (--policy)"
+        )
     return ExperimentConfig(
         seed=args.seed,
         preset=args.preset,
@@ -185,6 +192,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         sample_interval=args.sample_interval,
         lookups_per_sample=args.lookups,
         transport=transport,
+        live_speedup=args.speedup,
         loss=args.loss,
         partitions=tuple(args.partition or ()),
         trace=args.trace is not None or args.report is not None,

@@ -54,10 +54,13 @@ from repro.workloads.lookups import biased_target_pairs, uniform_keys, uniform_p
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
+    "Substrate",
     "World",
+    "build_substrate",
     "build_world",
     "monitor_consumers",
     "run_experiment",
+    "sample_lookup_latency",
 ]
 
 
@@ -95,7 +98,9 @@ class ExperimentConfig:
     pis_landmarks: int | None = None  # Chord: PIS identifier assignment
     pns: bool = False  # Chord: proximity-selected fingers
     pns_refresh_interval: float | None = None
-    # message plane (None = inline engine; "sim" = MessagePROPEngine)
+    # message plane (None = inline engine; "sim" = MessagePROPEngine over
+    # the simulator; "udp" = the same engine over repro.live's loopback
+    # swarm with wall-clock timers)
     transport: str | None = None
     loss: float = 0.0
     extra_delay_ms: float = 0.0
@@ -104,6 +109,9 @@ class ExperimentConfig:
     partitions: tuple[str, ...] = ()  # PartitionSpec strings, e.g. "a:b@120-300"
     latency_scale: float = 1.0
     net: NetConfig | None = None
+    # live deployment plane (transport="udp" only)
+    live_speedup: float = 60.0  # protocol seconds per wall second
+    live_lookup_rate: float = 0.0  # traffic-generator lookups per protocol second
     # observability
     trace: bool = False  # buffer structured events (repro.obs)
     trace_streaming: bool = False  # dispatch to consumers, discard raw events
@@ -147,15 +155,25 @@ class ExperimentConfig:
                 raise ValueError(f"trace_window must be > 0, got {self.trace_window}")
             if not (self.trace or self.trace_streaming):
                 raise ValueError("trace_window needs trace or trace_streaming")
-        if self.transport not in (None, "sim"):
-            raise ValueError(f"transport must be None or 'sim', got {self.transport!r}")
+        if self.transport not in (None, "sim", "udp"):
+            raise ValueError(
+                f"transport must be None, 'sim' or 'udp', got {self.transport!r}"
+            )
         if not 0.0 <= self.loss < 1.0:
             raise ValueError(f"loss must be in [0, 1), got {self.loss}")
-        if self.transport is None and (
+        if self.transport != "sim" and (
             self.loss or self.extra_delay_ms or self.net_jitter_ms
             or self.reorder_prob or self.partitions
         ):
             raise ValueError("fault injection needs transport='sim'")
+        if self.live_speedup <= 0.0:
+            raise ValueError(f"live_speedup must be > 0, got {self.live_speedup}")
+        if self.live_lookup_rate < 0.0:
+            raise ValueError(
+                f"live_lookup_rate must be >= 0, got {self.live_lookup_rate}"
+            )
+        if self.live_lookup_rate and self.transport != "udp":
+            raise ValueError("live_lookup_rate needs transport='udp'")
         if self.transport is not None and self.prop is None:
             raise ValueError("the message transport runs PROP only; set prop")
         if self.latency_scale < 0.0:
@@ -178,8 +196,34 @@ class ExperimentConfig:
 
 
 @dataclass
+class Substrate:
+    """The seed-determined world below any clock or transport.
+
+    Physical network placement, latency oracle, heterogeneity draw and
+    overlay graph are functions of the config alone — the simulated and
+    live planes construct this *identical* substrate from the same seed,
+    which is what makes their trajectories comparable (the sim-vs-real
+    parity gate rests on it).
+    """
+
+    config: ExperimentConfig
+    rngs: RngRegistry
+    oracle: LatencyOracleBase
+    overlay: Overlay
+    het: BimodalDelay | None
+    spare_hosts: list[int]
+
+
+@dataclass
 class World:
-    """Everything :func:`run_experiment` operates on."""
+    """Everything :func:`run_experiment` operates on.
+
+    The live plane (:mod:`repro.live`) assembles the same shape with
+    duck-typed substitutes — ``sim`` a
+    :class:`~repro.live.clock.LiveScheduler`, ``transport`` a
+    :class:`~repro.live.transport.UdpTransport` — so the sampling helpers
+    below work on either plane.
+    """
 
     config: ExperimentConfig
     rngs: RngRegistry
@@ -273,8 +317,8 @@ def monitor_consumers(config: ExperimentConfig) -> list[TraceConsumer]:
     ]
 
 
-def build_world(config: ExperimentConfig) -> World:
-    """Construct the physical network, overlay, and optimizer stack."""
+def build_substrate(config: ExperimentConfig) -> Substrate:
+    """Construct the seed-determined substrate (network, oracle, overlay)."""
     rngs = RngRegistry(config.seed)
     net = build_preset(config.preset, rngs.stream("topology"))
 
@@ -306,6 +350,30 @@ def build_world(config: ExperimentConfig) -> World:
     overlay_embedding = np.arange(config.n_overlay, dtype=np.intp)
     spare_hosts = list(range(config.n_overlay, need))
     overlay = _build_overlay(config, oracle, overlay_embedding, het, rngs)
+    return Substrate(
+        config=config,
+        rngs=rngs,
+        oracle=oracle,
+        overlay=overlay,
+        het=het,
+        spare_hosts=spare_hosts,
+    )
+
+
+def build_world(config: ExperimentConfig) -> World:
+    """Construct the physical network, overlay, and optimizer stack."""
+    if config.transport == "udp":
+        raise ValueError(
+            "build_world assembles the simulated plane; transport='udp' "
+            "worlds are assembled by repro.live.swarm.Swarm (or run the "
+            "config through run_experiment, which delegates)"
+        )
+    substrate = build_substrate(config)
+    rngs = substrate.rngs
+    oracle = substrate.oracle
+    overlay = substrate.overlay
+    het = substrate.het
+    spare_hosts = substrate.spare_hosts
 
     sim = Simulator()
     tracer: Tracer | None = None
@@ -435,7 +503,7 @@ def _direct_mean(overlay: Overlay, src: np.ndarray, dst: np.ndarray) -> float:
     return float(overlay.oracle.pairwise(emb[src], emb[dst]).mean())
 
 
-def _sample_lookup_latency(world: World) -> tuple[float, float]:
+def sample_lookup_latency(world: World) -> tuple[float, float]:
     """(mean lookup latency, mean direct latency) on a fresh workload draw.
 
     The ratio of the two is the routing stretch of this sample; the
@@ -517,6 +585,19 @@ def run_experiment(
     """
     from contextlib import nullcontext
 
+    if config.transport == "udp":
+        # the live plane owns its event loop and wall clock; imported
+        # lazily so sim-only deployments never touch asyncio
+        from repro.live.runner import run_live_experiment
+
+        return run_live_experiment(
+            config,
+            measure_lookups=measure_lookups,
+            profiler=profiler,
+            consumers=consumers,
+            sample_hook=sample_hook,
+        )
+
     def _stage(name: str):
         return profiler.stage(name) if profiler is not None else nullcontext()
 
@@ -543,7 +624,7 @@ def run_experiment(
         with _stage("sample"):
             link_stretch_series[i] = stretch_metric(world.overlay)
             if measure_lookups:
-                mean_lookup, mean_direct = _sample_lookup_latency(world)
+                mean_lookup, mean_direct = sample_lookup_latency(world)
                 lookup_series[i] = mean_lookup
                 stretch_series[i] = (
                     mean_lookup / mean_direct if mean_direct > 0 else np.nan

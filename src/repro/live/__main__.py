@@ -1,0 +1,6 @@
+"""``python -m repro.live`` entry point."""
+
+from repro.live.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

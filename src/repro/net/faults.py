@@ -106,6 +106,9 @@ class FaultyTransport:
     def register(self, slot: int, handler: Handler) -> None:
         self.inner.register(slot, handler)
 
+    def unregister(self, slot: int) -> None:
+        self.inner.unregister(slot)
+
     def _loss_for(self, src: int, dst: int) -> float:
         loss = self.loss
         if callable(loss):

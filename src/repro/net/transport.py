@@ -102,6 +102,15 @@ class Transport(Protocol):
         """Install the receive handler for ``slot``."""
         ...  # pragma: no cover - protocol signature
 
+    def unregister(self, slot: int) -> None:
+        """Remove ``slot``'s handler; messages to it are then absorbed.
+
+        Idempotent — unregistering an unknown slot is a no-op, so a
+        departing peer can always be detached without first asking
+        whether it was ever attached.
+        """
+        ...  # pragma: no cover - protocol signature
+
     def send(self, msg: Message, extra_delay_ms: float = 0.0) -> None:
         """Queue ``msg`` for delivery to ``msg.dst``'s handler."""
         ...  # pragma: no cover - protocol signature

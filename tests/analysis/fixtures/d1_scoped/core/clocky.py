@@ -1,0 +1,8 @@
+"""D1 scoping fixture: the same wall-clock read outside the allowlist
+(``repro.core``) stays a violation."""
+
+import time
+
+
+def wall_deadline() -> float:
+    return time.monotonic()  # forbidden: repro.core is not allowlisted

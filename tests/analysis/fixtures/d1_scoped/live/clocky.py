@@ -1,0 +1,16 @@
+"""D1 scoping fixture: wall-clock reads inside ``repro.live`` are
+sanctioned (the deployment plane runs on real time by design), but
+unseeded randomness is still a violation even here."""
+
+import time
+
+import numpy as np
+
+
+def wall_deadline() -> float:
+    return time.monotonic() + time.time()  # allowed: repro.live
+
+
+def fresh_rng() -> float:
+    rng = np.random.default_rng()  # still forbidden: unseeded
+    return float(rng.random())

@@ -26,6 +26,22 @@ class TestKnownBadFixtures:
         assert "unseeded `default_rng()`" in messages
         assert len(found) == 5
 
+    def test_d1_wallclock_allowlist_scopes_to_repro_live(self):
+        """`repro.live` may read wall clocks; everywhere else may not,
+        and unseeded randomness stays forbidden even inside the
+        allowlisted package."""
+        found = _findings("d1_scoped", "D1")
+        by_path = {}
+        for f in found:
+            by_path.setdefault(Path(f.path).parent.name, []).append(f.message)
+        # live/: two wall-clock calls sanctioned; only default_rng flagged.
+        assert len(by_path["live"]) == 1
+        assert "unseeded `default_rng()`" in by_path["live"][0]
+        # core/: the identical call is still a violation.
+        assert len(by_path["core"]) == 1
+        assert "time.monotonic" in by_path["core"][0]
+        assert len(found) == 2
+
     def test_d2_flags_cross_stream_draws(self):
         found = _findings("d2_bad", "D2")
         messages = " | ".join(f.message for f in found)

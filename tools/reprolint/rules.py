@@ -75,6 +75,14 @@ class NoWallClockRandomness(Rule):
     name = "no-wallclock-randomness"
     description = "stdlib random / wall clock / unseeded numpy RNG forbidden"
 
+    #: packages sanctioned to read wall clocks: the live deployment plane
+    #: (repro.live) runs protocol timers on real time *by design* — that
+    #: is the whole point of the plane.  The allowlist scopes ONLY the
+    #: wall-clock half of D1; unseeded randomness stays forbidden in
+    #: every package, including these (a live run must still be
+    #: seed-reproducible in everything but timing).
+    WALLCLOCK_ALLOW: tuple[str, ...] = ("repro.live",)
+
     _WALLCLOCK = frozenset(
         {
             "time.time",
@@ -135,15 +143,22 @@ class NoWallClockRandomness(Rule):
             elif isinstance(node, ast.Call):
                 yield from self._check_call(mod, node)
 
+    def _wallclock_allowed(self, module: str) -> bool:
+        return any(
+            module == pkg or module.startswith(pkg + ".")
+            for pkg in self.WALLCLOCK_ALLOW
+        )
+
     def _check_call(self, mod: ModuleInfo, node: ast.Call) -> Iterator[Finding]:
         qn = _qualname(node.func)
         if qn is None:
             return
         if qn in self._WALLCLOCK:
-            yield mod.finding(
-                self.id, node,
-                f"wall-clock call `{qn}()`; use the simulation clock (sim.now)",
-            )
+            if not self._wallclock_allowed(mod.module):
+                yield mod.finding(
+                    self.id, node,
+                    f"wall-clock call `{qn}()`; use the simulation clock (sim.now)",
+                )
             return
         if (qn == "Random" or qn.endswith(".Random")) and not node.args:
             yield mod.finding(
