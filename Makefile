@@ -12,15 +12,17 @@ lint:
 		python tools/lint.py; \
 	fi
 
-# Invariant analysis (docs/analysis.md): reprolint rules D1-D7, the
-# style lint, and mypy --strict on the deterministic kernel.  reprolint
-# exits 1 on new findings and 2 on a stale baseline; ruff and mypy are
+# Invariant analysis (docs/analysis.md): reprolint rules D1-D7 plus the
+# flow/concurrency family F1/C1/C2/G1, the style lint, and mypy --strict
+# on the deterministic kernel and the live/obs planes.  reprolint exits
+# 1 on new findings and 2 on a stale baseline; ruff and mypy are
 # optional on offline images, reprolint itself is dependency-free.
 analyze:
-	python -m tools.reprolint
+	python -m tools.reprolint --jobs 4
 	@$(MAKE) --no-print-directory lint
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy --strict -p repro.core -p repro.net -p repro.metrics -p repro.topology; \
+		mypy --strict -p repro.core -p repro.net -p repro.metrics \
+			-p repro.topology -p repro.live -p repro.obs; \
 	else \
 		echo "mypy not installed; skipping strict typing gate"; \
 	fi

@@ -329,12 +329,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 # buffered tracing active (--trace/--report): attach the
                 # monitor consumers alongside the raw event buffer
                 consumers = monitor_consumers(config)
-            wall_start = _time.monotonic()  # reprolint: disable=D1
+            wall_start = _time.monotonic()
 
             def sample_hook(t: float, status) -> None:
                 eta = None
                 if t > 0:
-                    # wall-clock ETA, CLI-side only  # reprolint: disable=D1
+                    # wall-clock ETA, CLI-side only
                     elapsed = _time.monotonic() - wall_start
                     eta = elapsed * (config.duration - t) / t
                 if status is not None:

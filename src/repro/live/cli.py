@@ -18,11 +18,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.config import PROPConfig
 from repro.harness.experiment import ExperimentConfig
 from repro.workloads.churn import ChurnConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.live.swarm import SwarmReport
 
 __all__ = ["main", "build_parser", "swarm_metrics"]
 
@@ -81,7 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _config(args: argparse.Namespace, **extra) -> ExperimentConfig:
+def _config(args: argparse.Namespace, **extra: Any) -> ExperimentConfig:
     return ExperimentConfig(
         seed=args.seed,
         preset=args.preset,
@@ -95,7 +98,7 @@ def _config(args: argparse.Namespace, **extra) -> ExperimentConfig:
     )
 
 
-def swarm_metrics(report) -> dict[str, float]:
+def swarm_metrics(report: "SwarmReport") -> dict[str, float]:
     """The bench-facing metric dict for one finished swarm run."""
     return {
         "msgs_per_s": round(report.msgs_per_wall_s, 2),

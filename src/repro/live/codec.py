@@ -38,6 +38,7 @@ property test asserts.
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from dataclasses import fields
 from typing import get_type_hints
@@ -46,17 +47,39 @@ from repro.net.messages import MSG_TYPES, Message
 
 __all__ = [
     "CodecError",
+    "GRAMMAR_FINGERPRINT",
     "MESSAGE_CLASSES",
+    "WIRE_KINDS",
     "WIRE_VERSION",
     "decode",
     "encode",
     "encoded_size",
     "frame",
+    "grammar_fingerprint",
     "unframe",
 ]
 
 #: Protocol revision stamped on every frame; bump on any layout change.
 WIRE_VERSION = 1
+
+#: Declared wire encodings: grammar annotation text -> codec kind.  This
+#: is the codec's contract with the message grammar — reprolint rule G1
+#: statically checks that every payload field annotation appears here
+#: and that every kind has an explicit arm in encode() AND decode().
+WIRE_KINDS: dict[str, str] = {
+    "bool": "bool",
+    "int": "int",
+    "float": "float",
+    "str": "str",
+    "tuple[int, ...]": "int_tuple",
+}
+
+#: Acknowledged grammar fingerprint, "<WIRE_VERSION>:<sha256[:16]>" over
+#: every message's name and annotated payload fields in wire-tag order.
+#: Rule G1 recomputes this from the grammar source; when it stops
+#: matching, the grammar changed — update it (the new value is in the
+#: finding) and bump WIRE_VERSION above.
+GRAMMAR_FINGERPRINT = "1:2118f0db4c9047cf"
 
 _HEADER = struct.Struct("!BBii")  # version, type tag, src slot, dst slot
 _I64 = struct.Struct("!q")
@@ -70,6 +93,17 @@ class CodecError(ValueError):
     """A frame that cannot be encoded or decoded."""
 
 
+#: Runtime mirror of :data:`WIRE_KINDS`, keyed by the resolved hint
+#: object instead of the annotation text.
+_HINT_KINDS: dict[object, str] = {
+    bool: "bool",
+    int: "int",
+    float: "float",
+    str: "str",
+    tuple[int, ...]: "int_tuple",
+}
+
+
 def _field_specs(cls: type[Message]) -> tuple[tuple[str, str], ...]:
     """(name, kind) per payload field, in dataclass declaration order."""
     hints = get_type_hints(cls)
@@ -78,22 +112,34 @@ def _field_specs(cls: type[Message]) -> tuple[tuple[str, str], ...]:
         if f.name in ("src", "dst"):
             continue  # addressed in the header
         hint = hints[f.name]
-        if hint is bool:
-            kind = "bool"
-        elif hint is int:
-            kind = "int"
-        elif hint is float:
-            kind = "float"
-        elif hint is str:
-            kind = "str"
-        elif hint == tuple[int, ...]:
-            kind = "int_tuple"
-        else:  # pragma: no cover - a new field type needs a codec rule
+        kind = _HINT_KINDS.get(hint)
+        if kind is None:  # pragma: no cover - a new field type needs a codec rule
             raise CodecError(
                 f"{cls.__name__}.{f.name}: no wire encoding for {hint!r}"
             )
         specs.append((f.name, kind))
     return tuple(specs)
+
+
+def grammar_fingerprint() -> str:
+    """The live grammar's fingerprint, ``"<version>:<sha256[:16]>"``.
+
+    Hashes every message's wire name and annotated payload fields in
+    wire-tag order — the same canonical string reprolint rule G1 derives
+    statically from the grammar source, so the checked-in
+    :data:`GRAMMAR_FINGERPRINT` is pinned from both sides.
+    """
+    parts = []
+    for name in MSG_TYPES:
+        cls = MESSAGE_CLASSES[name]
+        spec = " ".join(
+            f"{f.name}:{f.type}"
+            for f in fields(cls)
+            if f.name not in ("src", "dst")
+        )
+        parts.append(f"{name} {spec}".rstrip())
+    digest = hashlib.sha256(";".join(parts).encode("utf-8")).hexdigest()[:16]
+    return f"{WIRE_VERSION}:{digest}"
 
 
 def _message_classes() -> dict[str, type[Message]]:
@@ -139,11 +185,13 @@ def encode(msg: Message) -> bytes:
                 raise CodecError(f"string field {name} too long ({len(raw)} bytes)")
             parts.append(_U16.pack(len(raw)))
             parts.append(raw)
-        else:  # int_tuple
+        elif kind == "int_tuple":
             if len(value) > 0xFFFF:
                 raise CodecError(f"slot list {name} too long ({len(value)} slots)")
             parts.append(_U16.pack(len(value)))
             parts.append(struct.pack(f"!{len(value)}i", *value))
+        else:  # pragma: no cover - G1 pins WIRE_KINDS to the arms above
+            raise CodecError(f"field {name}: unhandled wire kind {kind!r}")
     return b"".join(parts)
 
 
@@ -178,11 +226,13 @@ def decode(data: bytes) -> Message:
                     raise CodecError(f"string field {name} truncated")
                 payload[name] = raw.decode("utf-8")
                 offset += length
-            else:  # int_tuple
+            elif kind == "int_tuple":
                 (count,) = _U16.unpack_from(data, offset)
                 offset += _U16.size
                 payload[name] = struct.unpack_from(f"!{count}i", data, offset)
                 offset += _I32.size * count
+            else:  # pragma: no cover - G1 pins WIRE_KINDS to the arms above
+                raise CodecError(f"field {name}: unhandled wire kind {kind!r}")
     except struct.error as exc:
         raise CodecError(f"frame truncated decoding {cls.__name__}: {exc}") from None
     if offset != len(data):

@@ -26,9 +26,15 @@ class _PeerProtocol(asyncio.DatagramProtocol):
         self._slot = slot
         self._sink = sink
         self.errors = 0
+        self.sink_errors = 0
 
     def datagram_received(self, data: bytes, addr: tuple[str, int]) -> None:
-        self._sink(self._slot, data)
+        # counted-never-raised: an exception escaping this callback would
+        # detach the transport via the loop's exception handler
+        try:
+            self._sink(self._slot, data)
+        except Exception:
+            self.sink_errors += 1
 
     def error_received(self, exc: OSError) -> None:
         # ICMP-reported send failure (e.g. peer socket already closed
@@ -74,6 +80,11 @@ class PeerNode:
     def receive_errors(self) -> int:
         """ICMP-reported socket errors seen by this endpoint."""
         return self._protocol.errors
+
+    @property
+    def sink_errors(self) -> int:
+        """Exceptions the datagram sink raised (counted, never raised)."""
+        return self._protocol.sink_errors
 
     def sendto(self, data: bytes, address: tuple[str, int]) -> None:
         """Transmit one datagram from this peer's socket (non-blocking)."""

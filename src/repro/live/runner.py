@@ -74,9 +74,9 @@ async def _run(
     sample_hook: Any,
     churn_schedule: ChurnSchedule | None,
 ) -> ExperimentResult:
-    from contextlib import nullcontext
+    from contextlib import AbstractContextManager, nullcontext
 
-    def _stage(name: str):
+    def _stage(name: str) -> AbstractContextManager[Any]:
         return profiler.stage(name) if profiler is not None else nullcontext()
 
     swarm = Swarm(

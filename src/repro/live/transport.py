@@ -27,7 +27,10 @@ stack:
 * **Decode failures are counted, not raised.**  A truncated or
   alien datagram increments ``codec_errors`` (and ``misrouted`` when a
   valid frame arrives on the wrong slot's socket) and is dropped;
-  a malformed packet must never kill the event loop.
+  a malformed packet must never kill the event loop.  The same
+  counted-never-raised contract covers handler dispatch
+  (``handler_errors``) — reprolint rule C2 enforces the pattern on
+  every event-loop callback in this package.
 """
 
 from __future__ import annotations
@@ -94,6 +97,7 @@ class UdpTransport:
         self.stats = TransportStats()
         self.codec_errors = 0
         self.misrouted = 0
+        self.handler_errors = 0
         self.wire_bytes_sent = 0
         self._handlers: dict[int, Handler] = {}
         self._closed = False
@@ -169,7 +173,12 @@ class UdpTransport:
                              dst=msg.dst, tag=trace_tag(msg))
         handler = self._handlers.get(slot)
         if handler is not None:
-            handler(msg)
+            # counted-never-raised: a handler failure must not unwind into
+            # the datagram callback and kill the event loop
+            try:
+                handler(msg)
+            except Exception:
+                self.handler_errors += 1
 
     def close(self) -> None:
         """Stop accepting traffic and close every peer socket."""

@@ -1,0 +1,45 @@
+"""C1 fixture: await-interleaving hazards and sink-less tasks."""
+
+import asyncio
+
+
+class Cache:
+    def __init__(self):
+        self.version = 0
+        self.data = {}
+
+    async def refresh(self, fetch):
+        v = self.version  # read before the suspension point
+        data = await fetch()
+        # BAD: another task may have bumped self.version while we were
+        # suspended; this write clobbers it without re-reading.
+        self.version = v + 1
+        self.data = data  # fine: never read before the await
+
+    async def refresh_ok(self, fetch):
+        v = self.version
+        data = await fetch()
+        if self.version == v:  # revalidated after resuming
+            self.version = v + 1
+            self.data = data
+
+    def spawn(self, coro):
+        # BAD: fire-and-forget — the task's exception is discarded.
+        asyncio.create_task(coro)
+
+    def spawn_bound(self, coro):
+        # BAD: bound but never awaited/gathered/given a done-callback.
+        task = asyncio.create_task(coro)
+        self.version += 1
+        return None
+
+    def spawn_sunk(self, coro):
+        task = asyncio.create_task(coro)
+        task.add_done_callback(self._done)
+
+    def spawn_returned(self, coro):
+        task = asyncio.create_task(coro)
+        return task  # the caller owns it now
+
+    def _done(self, task):
+        self.version += 1

@@ -1,0 +1,42 @@
+"""C2 fixture: event-loop callbacks that can raise."""
+
+
+class BadProtocol:
+    def __init__(self, sink):
+        self._sink = sink
+        self.errors = 0
+
+    def datagram_received(self, data, addr):
+        # BAD: an exception from the sink unwinds into the event loop.
+        self._sink(data)
+
+    def error_received(self, exc):
+        # BAD: callbacks must count, never raise.
+        raise RuntimeError(exc)
+
+
+class GoodProtocol:
+    def __init__(self, sink):
+        self._sink = sink
+        self.errors = 0
+
+    def datagram_received(self, data, addr):
+        try:
+            self._sink(data)
+        except Exception:
+            self.errors += 1
+
+    def connection_lost(self, exc):
+        self._dispose()  # delegates to an exception-safe helper
+
+    def connection_made(self, transport):
+        self.transport = transport  # no risky statements at all
+
+    def _dispose(self):
+        try:
+            self._cleanup()
+        except Exception:
+            self.errors += 1
+
+    def _cleanup(self):
+        pass

@@ -1,0 +1,6 @@
+"""F1 fixture: a live-component traffic generator."""
+
+
+class TrafficGen:
+    def __init__(self, rng):
+        self.rng = rng

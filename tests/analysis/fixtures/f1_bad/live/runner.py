@@ -1,0 +1,19 @@
+"""F1 fixture: live-plane streams leaking into another component.
+
+D2 sees nothing wrong here — every ``rngs.stream`` call site uses a
+string literal — but the generators flow across component boundaries.
+"""
+
+from repro.net.engine import Engine
+
+
+def start(rngs):
+    # BAD: the live-plane traffic stream handed to a repro.net engine,
+    # through a local binding D2's call-site check cannot follow.
+    rng = rngs.stream("live:traffic")
+    return Engine(rng)
+
+
+def weird(rngs):
+    # BAD: a stream name no component owns.
+    return Engine(rngs.stream("mystery:stuff"))

@@ -1,0 +1,6 @@
+"""F1 fixture: a net-component engine that accepts a generator."""
+
+
+class Engine:
+    def __init__(self, rng):
+        self.rng = rng

@@ -1,0 +1,9 @@
+"""F1 fixture: the fault stream leaking into the live component."""
+
+from repro.live.loadgen import TrafficGen
+
+
+def build(rngs):
+    # BAD: net:faults is the fault decorator's stream; handing it to a
+    # live-plane traffic generator couples their draw sequences.
+    return TrafficGen(rngs.stream("net:faults"))

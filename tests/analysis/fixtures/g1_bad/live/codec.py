@@ -1,0 +1,33 @@
+"""G1 fixture: a codec missing an arm and carrying a stale fingerprint."""
+
+WIRE_VERSION = 2
+
+WIRE_KINDS: dict[str, str] = {
+    "bool": "bool",
+    "int": "int",
+    "float": "float",
+}
+
+# BAD: stale — wrong version prefix and wrong hash for this grammar.
+GRAMMAR_FINGERPRINT = "1:deadbeefdeadbeef"
+
+
+def encode(msg):
+    kind = "?"
+    if kind == "bool":
+        pass
+    elif kind == "int":
+        pass
+    # BAD: no arm for "float", which WIRE_KINDS declares
+    return b""
+
+
+def decode(data):
+    kind = "?"
+    if kind == "bool":
+        pass
+    elif kind == "int":
+        pass
+    elif kind == "float":
+        pass
+    return None

@@ -1,0 +1,33 @@
+"""G1 fixture: a message grammar that drifted from its codec."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class Message:
+    src: int
+    dst: int
+
+    type_name: ClassVar[str] = "MESSAGE"
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    cycle: int
+    payload: dict[str, int]  # BAD: no wire encoding for this annotation
+
+    type_name: ClassVar[str] = "PING"
+
+
+@dataclass(frozen=True)
+class Pong(Message):
+    cycle: int
+
+    type_name: ClassVar[str] = "PONG_X"  # BAD: not listed in MSG_TYPES
+
+
+MSG_TYPES: tuple[str, ...] = (
+    "PING",
+    "PONG",  # BAD: no message class declares this type_name
+)

@@ -1,0 +1,264 @@
+"""The flow/concurrency rule family (F1/C1/C2/G1), the parallel scanner,
+and the suppression audit.
+
+Fixture tests pin each rule to its known-bad tree; acceptance tests
+mutate copies of the *real* grammar/codec and assert analyze fails; the
+``--jobs`` tests pin byte-identical serial/parallel output.
+"""
+
+import json
+from pathlib import Path
+
+from tools.reprolint.__main__ import main
+from tools.reprolint.engine import analyze, analyze_full
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _findings(fixture: str, rule: str):
+    return [
+        f
+        for f in analyze(FIXTURES / fixture, repo=REPO, select=[rule])
+        if f.rule == rule
+    ]
+
+
+class TestF1StreamProvenance:
+    def test_flags_cross_component_flows_and_unowned_streams(self):
+        found = _findings("f1_bad", "F1")
+        messages = " | ".join(f.message for f in found)
+        # through a local binding (the hole D2 cannot see)
+        assert "'live:traffic' flows into `Engine`" in messages
+        # direct argument flow, in the other direction
+        assert "'net:faults' flows into `TrafficGen`" in messages
+        # a stream no component owns
+        assert "no registered owner" in messages
+        assert len(found) == 3
+
+    def test_real_tree_flows_all_respect_ownership(self):
+        found = [
+            f
+            for f in analyze(REPO / "src" / "repro", repo=REPO, select=["F1"])
+            if f.rule == "F1"
+        ]
+        assert found == [], "\n".join(f.render() for f in found)
+
+
+class TestC1AwaitInterleaving:
+    def test_flags_stale_write_and_sinkless_tasks(self):
+        found = _findings("c1_bad", "C1")
+        messages = " | ".join(f.message for f in found)
+        assert "`self.version` was read before an `await`" in messages
+        assert "fire-and-forget task" in messages
+        assert "task bound to `task` has no exception sink" in messages
+        # refresh_ok / spawn_sunk / spawn_returned stay clean
+        assert len(found) == 3
+
+    def test_revalidated_write_is_clean(self):
+        found = _findings("c1_bad", "C1")
+        lines = {f.line for f in found}
+        # refresh_ok revalidates (line ~22): no finding there
+        assert all(f.line < 20 or f.line > 25 for f in found), lines
+
+
+class TestC2CallbackSafety:
+    def test_flags_raising_callbacks_only(self):
+        found = _findings("c2_bad", "C2")
+        messages = " | ".join(f.message for f in found)
+        assert "`BadProtocol.datagram_received`" in messages
+        assert "`BadProtocol.error_received`" in messages
+        # GoodProtocol: guarded inline, delegated to a safe helper, and
+        # a no-risk body — none flagged
+        assert "GoodProtocol" not in messages
+        assert len(found) == 2
+
+
+class TestG1CodecGrammarDrift:
+    def test_flags_every_drift_mode(self):
+        found = _findings("g1_bad", "G1")
+        messages = " | ".join(f.message for f in found)
+        assert "`Ping.payload` is annotated `dict[str, int]`" in messages
+        assert '`encode` has no `kind == "float"` arm' in messages
+        assert "MSG_TYPES names 'PONG' but no message class" in messages
+        assert "type_name 'PONG_X' which MSG_TYPES does not list" in messages
+        assert "the message grammar changed" in messages
+        assert len(found) == 5
+
+    def test_fingerprint_literal_matches_runtime(self):
+        """The static rule and the runtime helper derive the same hash."""
+        import sys
+
+        sys.path.insert(0, str(REPO / "src"))
+        try:
+            from repro.live import codec
+        finally:
+            sys.path.pop(0)
+        assert codec.GRAMMAR_FINGERPRINT == codec.grammar_fingerprint()
+
+
+class TestG1Acceptance:
+    """The ISSUE's acceptance check: deleting one codec field arm from a
+    copy of the real codec makes G1 fire."""
+
+    ARM = '            elif kind == "float":'
+
+    def _copy_tree(self, tmp_path):
+        src = REPO / "src" / "repro"
+        for rel in ("net/messages.py", "live/codec.py"):
+            dest = tmp_path / rel
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_text((src / rel).read_text(encoding="utf-8"),
+                            encoding="utf-8")
+        return tmp_path
+
+    def test_unmutated_copy_is_g1_clean(self, tmp_path):
+        root = self._copy_tree(tmp_path)
+        found = [f for f in analyze(root, repo=tmp_path, select=["G1"])]
+        assert found == [], "\n".join(f.render() for f in found)
+
+    def test_deleting_a_decode_arm_fails_analyze(self, tmp_path):
+        root = self._copy_tree(tmp_path)
+        codec = root / "live" / "codec.py"
+        text = codec.read_text(encoding="utf-8")
+        assert self.ARM in text, "codec arm shape changed; update fixture"
+        start = text.index(self.ARM)
+        end = text.index("            elif kind ==", start + len(self.ARM))
+        codec.write_text(text[:start] + text[end:], encoding="utf-8")
+        found = [f for f in analyze(root, repo=tmp_path, select=["G1"])]
+        assert any(
+            '`decode` has no `kind == "float"` arm' in f.message for f in found
+        ), "\n".join(f.render() for f in found)
+
+    def test_adding_a_grammar_field_requires_fingerprint_update(self, tmp_path):
+        root = self._copy_tree(tmp_path)
+        messages = root / "net" / "messages.py"
+        text = messages.read_text(encoding="utf-8")
+        anchor = "    xid: int\n\n    type_name: ClassVar[str] = \"EXCHANGE_COMMIT\""
+        assert anchor in text, "grammar shape changed; update fixture"
+        messages.write_text(
+            text.replace(anchor, "    xid: int\n    hops: int\n\n"
+                         "    type_name: ClassVar[str] = \"EXCHANGE_COMMIT\""),
+            encoding="utf-8",
+        )
+        found = [f for f in analyze(root, repo=tmp_path, select=["G1"])]
+        assert any("bump WIRE_VERSION" in f.message for f in found)
+
+
+class TestParallelJobs:
+    def test_jobs_output_identical_on_fixtures(self):
+        # run over a tree that actually produces findings
+        for fixture in ("f1_bad", "c1_bad", "c2_bad", "g1_bad", "d1_bad"):
+            root = FIXTURES / fixture
+            assert analyze(root, repo=REPO) == analyze(root, repo=REPO, jobs=4), fixture
+
+    def test_jobs_output_identical_on_real_tree(self):
+        root = REPO / "src" / "repro"
+        assert analyze(root, repo=REPO) == analyze(root, repo=REPO, jobs=4)
+
+    def test_cli_output_byte_identical(self, capsys):
+        args = ["--root", str(FIXTURES / "g1_bad"), "--no-baseline",
+                "--format", "json", "--select", "G1"]
+        assert main(args) == 1
+        serial = capsys.readouterr()
+        assert main([*args, "--jobs", "4"]) == 1
+        parallel = capsys.readouterr()
+        assert parallel.out == serial.out
+
+    def test_bad_jobs_value_is_usage_error(self, capsys):
+        assert main(["--jobs", "0"]) == 3
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_parse_error_surfaces_from_workers(self, tmp_path):
+        (tmp_path / "core").mkdir()
+        (tmp_path / "core" / "broken.py").write_text("def broken(:\n",
+                                                     encoding="utf-8")
+        found = analyze(tmp_path, repo=tmp_path, jobs=2)
+        assert [f.rule for f in found] == ["E999"]
+
+
+class TestSuppressionAudit:
+    def _tree(self, tmp_path, text):
+        (tmp_path / "core").mkdir(exist_ok=True)
+        (tmp_path / "core" / "x.py").write_text(text, encoding="utf-8")
+        return tmp_path
+
+    def test_used_suppression_is_not_stale(self, tmp_path):
+        root = self._tree(
+            tmp_path, "for x in {3, 1, 2}:  # reprolint: disable=D3\n    y = x\n"
+        )
+        _, audit = analyze_full(root, repo=tmp_path)
+        assert audit.declared == [("core/x.py", 1, "D3")]
+        assert audit.stale == []
+
+    def test_dead_suppression_is_stale(self, tmp_path):
+        root = self._tree(
+            tmp_path, "for x in sorted({3, 1, 2}):  # reprolint: disable=D3\n    y = x\n"
+        )
+        _, audit = analyze_full(root, repo=tmp_path)
+        assert audit.stale == [("core/x.py", 1, "D3")]
+
+    def test_audit_agrees_across_jobs(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            "for x in {3, 1, 2}:  # reprolint: disable=D3\n    y = x\n"
+            "z = sorted({1})  # reprolint: disable=D1\n",
+        )
+        _, serial = analyze_full(root, repo=tmp_path)
+        _, parallel = analyze_full(root, repo=tmp_path, jobs=2)
+        assert serial.declared == parallel.declared
+        assert serial.stale == parallel.stale
+        assert serial.stale == [("core/x.py", 3, "D1")]
+
+    def test_cli_list_suppressions(self, tmp_path, capsys):
+        root = self._tree(
+            tmp_path, "for x in sorted({3, 1, 2}):  # reprolint: disable=D3\n    y = x\n"
+        )
+        code = main(["--root", str(root), "--list-suppressions"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "core/x.py:1: suppression 'D3' masks no finding" in captured.out
+        assert "1 stale suppression(s) of 1 declared" in captured.err
+
+    def test_cli_list_suppressions_clean_exit_0(self, tmp_path, capsys):
+        root = self._tree(
+            tmp_path, "for x in {3, 1, 2}:  # reprolint: disable=D3\n    y = x\n"
+        )
+        assert main(["--root", str(root), "--list-suppressions"]) == 0
+        assert "0 stale suppression(s)" in capsys.readouterr().err
+
+    def test_real_tree_has_no_stale_suppressions(self):
+        _, audit = analyze_full(REPO / "src" / "repro", repo=REPO)
+        assert audit.stale == [], audit.stale
+
+
+class TestJsonOut:
+    def test_json_out_writes_findings_file(self, tmp_path, capsys):
+        out = tmp_path / "findings.json"
+        code = main(["--root", str(FIXTURES / "c2_bad"), "--no-baseline",
+                     "--select", "C2", "--json-out", str(out)])
+        capsys.readouterr()
+        assert code == 1
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert {f["rule"] for f in payload} == {"C2"}
+        assert all({"rule", "path", "line", "col", "message"} <= set(f)
+                   for f in payload)
+
+    def test_json_out_empty_when_clean(self, tmp_path, capsys):
+        (tmp_path / "core").mkdir()
+        (tmp_path / "core" / "x.py").write_text("y = 1\n", encoding="utf-8")
+        out = tmp_path / "findings.json"
+        code = main(["--root", str(tmp_path), "--no-baseline",
+                     "--json-out", str(out)])
+        capsys.readouterr()
+        assert code == 0
+        assert json.loads(out.read_text(encoding="utf-8")) == []
+
+
+class TestSummariesMirrorD5:
+    def test_overlay_mutator_inventories_stay_in_sync(self):
+        from tools.reprolint.rules import ExchangeAtomicity
+        from tools.reprolint.summaries import OVERLAY_ATTRS, OVERLAY_MUTATORS
+
+        assert OVERLAY_MUTATORS == ExchangeAtomicity.MUTATOR_CALLS
+        assert OVERLAY_ATTRS == ExchangeAtomicity.MUTATED_ATTRS

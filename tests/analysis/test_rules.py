@@ -139,5 +139,5 @@ class TestRealTree:
         from tools.reprolint import iter_rules
 
         assert [r.id for r in iter_rules()] == [
-            "D1", "D2", "D3", "D4", "D5", "D6", "D7",
+            "C1", "C2", "D1", "D2", "D3", "D4", "D5", "D6", "D7", "F1", "G1",
         ]

@@ -1,4 +1,4 @@
-"""Strict typing gate for the deterministic kernel.
+"""Strict typing gate for the deterministic kernel and the live plane.
 
 The mypy run is skipped on images without mypy (the container bakes no
 extra toolchain); the annotation hygiene checks below always run.
@@ -12,12 +12,16 @@ import pytest
 
 REPO = Path(__file__).resolve().parents[2]
 
+#: packages under the strict gate (and the always-on annotation proxy).
+STRICT_PACKAGES = ("core", "net", "metrics", "topology", "live", "obs")
+
 
 @pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
 def test_mypy_strict_on_kernel_packages():
     proc = subprocess.run(
         ["mypy", "--strict", "-p", "repro.core", "-p", "repro.net",
-         "-p", "repro.metrics"],
+         "-p", "repro.metrics", "-p", "repro.topology", "-p", "repro.live",
+         "-p", "repro.obs"],
         capture_output=True,
         text=True,
         cwd=REPO,
@@ -30,14 +34,34 @@ def test_messages_module_has_no_type_ignores():
     assert "type: ignore" not in text
 
 
+def test_live_and_obs_type_ignore_inventory_is_pinned():
+    """No *new* ``type: ignore`` in repro.live / repro.obs (ISSUE 8).
+
+    The grandfathered ignores below are dynamic-dispatch seams (event
+    payload attrs, dataclass ``**kwargs`` construction); anything beyond
+    them must be fixed with types, not silenced.
+    """
+    inventory = {}
+    for pkg in ("live", "obs"):
+        for path in sorted((REPO / "src" / "repro" / pkg).rglob("*.py")):
+            n = path.read_text(encoding="utf-8").count("type: ignore")
+            if n:
+                inventory[f"{pkg}/{path.name}"] = n
+    assert inventory == {
+        "live/codec.py": 1,
+        "obs/monitor.py": 5,
+        "obs/trace.py": 1,
+    }, inventory
+
+
 def test_kernel_signatures_are_fully_annotated():
     """Cheap always-on proxy for the strict gate: every function in the
-    kernel packages annotates all parameters and its return type."""
+    strict packages annotates all parameters and its return type."""
     import ast
 
     missing = []
-    for pkg in ("core", "net", "metrics"):
-        for path in sorted((REPO / "src" / "repro" / pkg).glob("*.py")):
+    for pkg in STRICT_PACKAGES:
+        for path in sorted((REPO / "src" / "repro" / pkg).rglob("*.py")):
             tree = ast.parse(path.read_text(encoding="utf-8"))
             for node in ast.walk(tree):
                 if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):

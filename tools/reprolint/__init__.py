@@ -2,7 +2,9 @@
 
 Domain-specific static analysis over ``src/repro``.  Where generic
 linters enforce style, reprolint enforces the *reproduction invariants*
-the paper's theorems and the determinism bridge rest on:
+the paper's theorems and the determinism bridge rest on.
+
+Per-file rules (one AST at a time):
 
 * **D1** no wall-clock or unseeded randomness — every draw flows from an
   injected seeded :class:`numpy.random.Generator`;
@@ -15,13 +17,44 @@ the paper's theorems and the determinism bridge rest on:
 * **D5** exchange atomicity — overlay neighbor structures mutate only
   inside the overlay/exchange modules;
 * **D6** config coverage — every ``PROPConfig`` field is referenced by
-  the validation path.
+  the validation path;
+* **D7** traced event emission — decision-path code reports through the
+  injected Tracer, never ``print``/``logging``.
+
+Flow/concurrency rules (over the project-wide module graph and
+per-function summaries — see :mod:`tools.reprolint.graph` and
+:mod:`tools.reprolint.summaries`):
+
+* **F1** RNG-stream provenance — a stream named for component X may not
+  flow into a call defined by another component;
+* **C1** await-interleaving hazards in ``repro.live`` — stale
+  read-across-await writes and fire-and-forget ``create_task``;
+* **C2** callback exception safety — asyncio protocol callbacks follow
+  the counted-never-raised pattern;
+* **G1** codec<->grammar drift — the wire codec covers every message
+  field, and grammar changes force a fingerprint/version update.
 
 See ``docs/analysis.md`` for the rule catalogue, the
 ``# reprolint: disable=RULE`` suppression syntax and the baseline-file
 workflow.  Run as ``python -m tools.reprolint`` (or ``make analyze``).
 """
 
-from tools.reprolint.engine import Finding, ModuleInfo, Project, analyze, iter_rules
+from tools.reprolint.engine import (
+    Finding,
+    ModuleInfo,
+    Project,
+    SuppressionAudit,
+    analyze,
+    analyze_full,
+    iter_rules,
+)
 
-__all__ = ["Finding", "ModuleInfo", "Project", "analyze", "iter_rules"]
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "SuppressionAudit",
+    "analyze",
+    "analyze_full",
+    "iter_rules",
+]

@@ -22,16 +22,22 @@ import ast
 import json
 import re
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from tools.reprolint.graph import ModuleGraph
+    from tools.reprolint.summaries import ModuleSummary
 
 __all__ = [
     "Finding",
     "ModuleInfo",
     "Project",
     "Rule",
+    "SuppressionAudit",
     "analyze",
+    "analyze_full",
     "baseline_diff",
     "iter_rules",
     "load_baseline",
@@ -91,11 +97,24 @@ class ModuleInfo:
                     )
         return out
 
-    def suppressed(self, rule: str, line: int) -> bool:
+    @property
+    def suppressions(self) -> dict[int, frozenset[str]]:
+        """Declared suppressions: comment line -> rule tokens (or "all")."""
+        return self._suppressions
+
+    def suppressed(
+        self,
+        rule: str,
+        line: int,
+        hits: set[tuple[str, int, str]] | None = None,
+    ) -> bool:
         """Is ``rule`` disabled at ``line``?
 
         A suppression comment applies to its own line, or — when it
         stands on a comment-only line — to the next source line below it.
+        When ``hits`` is given, the matching suppression token is
+        recorded as ``(rel_path, comment_line, token)`` so
+        ``--list-suppressions`` can report tokens masking nothing.
         """
         for at in (line, line - 1):
             rules = self._suppressions.get(at)
@@ -103,7 +122,10 @@ class ModuleInfo:
                 continue
             if at == line - 1 and not self.lines[at - 1].lstrip().startswith("#"):
                 continue  # trailing comment on the previous statement
-            if "all" in rules or rule in rules:
+            token = "all" if "all" in rules else (rule if rule in rules else None)
+            if token is not None:
+                if hits is not None:
+                    hits.add((self.rel_path, at, token))
                 return True
         return False
 
@@ -124,25 +146,64 @@ class Project:
 
     PACKAGE = "repro"
 
-    def __init__(self, root: Path, repo: Path | None = None) -> None:
+    def __init__(self, root: Path, repo: Path | None = None, *, load: bool = True) -> None:
         self.root = Path(root)
         self.repo = Path(repo) if repo is not None else Path.cwd()
         self.modules: dict[str, ModuleInfo] = {}
         self.parse_errors: list[Finding] = []
-        for path in sorted(self.root.rglob("*.py")):
-            rel = path.relative_to(self.root)
-            parts = [self.PACKAGE, *rel.with_suffix("").parts]
+        self._summaries: dict[str, "ModuleSummary"] | None = None
+        self._graph: "ModuleGraph | None" = None
+        if not load:
+            return
+        for path, module in self.iter_sources(self.root):
+            loaded = load_module(path, module, self.repo)
+            if isinstance(loaded, Finding):
+                self.parse_errors.append(loaded)
+            else:
+                self.modules[module] = loaded
+
+    @classmethod
+    def iter_sources(cls, root: Path) -> list[tuple[Path, str]]:
+        """``(path, dotted module name)`` for every source under ``root``,
+        in sorted path order (the order that pins deterministic output)."""
+        out: list[tuple[Path, str]] = []
+        for path in sorted(Path(root).rglob("*.py")):
+            rel = path.relative_to(root)
+            parts = [cls.PACKAGE, *rel.with_suffix("").parts]
             if parts[-1] == "__init__":
                 parts.pop()
-            module = ".".join(parts)
-            try:
-                text = path.read_text(encoding="utf-8")
-                self.modules[module] = ModuleInfo(path, module, text, self.repo)
-            except (SyntaxError, UnicodeDecodeError) as exc:
-                line = getattr(exc, "lineno", 1) or 1
-                self.parse_errors.append(
-                    Finding("E999", path.as_posix(), line, 0, f"unparseable module: {exc}")
-                )
+            out.append((path, ".".join(parts)))
+        return out
+
+    # -- cross-file layers (built lazily, shared by all flow rules) -------
+
+    def summaries(self) -> dict[str, "ModuleSummary"]:
+        """Per-function summaries for every module, keyed by module name."""
+        if self._summaries is None:
+            from tools.reprolint.summaries import build_module_summary
+
+            self._summaries = {
+                name: build_module_summary(mod) for name, mod in self.modules.items()
+            }
+        return self._summaries
+
+    def graph(self) -> "ModuleGraph":
+        """The import/definition graph over all modules."""
+        if self._graph is None:
+            from tools.reprolint.graph import ModuleGraph
+
+            self._graph = ModuleGraph(self.modules)
+        return self._graph
+
+
+def load_module(path: Path, module: str, repo: Path) -> ModuleInfo | Finding:
+    """Parse one source file; an unparseable file is an E999 finding."""
+    try:
+        text = path.read_text(encoding="utf-8")
+        return ModuleInfo(path, module, text, repo)
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        return Finding("E999", path.as_posix(), line, 0, f"unparseable module: {exc}")
 
 
 class Rule:
@@ -175,10 +236,31 @@ def register(cls: type[Rule]) -> type[Rule]:
 
 
 def iter_rules() -> list[Rule]:
-    """Registered rules in id order (importing the rules module first)."""
-    from tools.reprolint import rules as _rules  # noqa: F401  (registration side effect)
+    """Registered rules in id order (importing the rule modules first)."""
+    # registration side effects:
+    from tools.reprolint import rules as _rules  # noqa: F401
+    from tools.reprolint import rules_flow as _rules_flow  # noqa: F401
 
     return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+@dataclass
+class SuppressionAudit:
+    """Which declared suppression tokens actually masked a finding.
+
+    ``declared`` lists every ``# reprolint: disable=`` token as
+    ``(rel_path, comment_line, token)``; ``used`` is the subset that
+    suppressed at least one finding this run.  The difference is dead
+    weight — suppressions left behind by code that no longer violates
+    the rule (``--list-suppressions`` reports it).
+    """
+
+    declared: list[tuple[str, int, str]] = field(default_factory=list)
+    used: set[tuple[str, int, str]] = field(default_factory=set)
+
+    @property
+    def stale(self) -> list[tuple[str, int, str]]:
+        return sorted(entry for entry in self.declared if entry not in self.used)
 
 
 def analyze(
@@ -186,28 +268,129 @@ def analyze(
     *,
     repo: Path | str | None = None,
     select: Iterable[str] | None = None,
+    jobs: int = 1,
 ) -> list[Finding]:
     """Run the registered rules over ``root``; suppressions applied.
 
-    ``select`` restricts to the given rule ids (default: all).  Parse
-    errors surface as unsuppressable ``E999`` findings.
+    ``select`` restricts to the given rule ids (default: all); ``jobs``
+    parallelizes per-file parsing and per-module analysis.  Parse errors
+    surface as unsuppressable ``E999`` findings.
     """
-    project = Project(Path(root), Path(repo) if repo is not None else None)
-    wanted = set(select) if select is not None else None
-    findings: list[Finding] = list(project.parse_errors)
+    return analyze_full(root, repo=repo, select=select, jobs=jobs)[0]
+
+
+def analyze_full(
+    root: Path | str,
+    *,
+    repo: Path | str | None = None,
+    select: Iterable[str] | None = None,
+    jobs: int = 1,
+) -> tuple[list[Finding], SuppressionAudit]:
+    """:func:`analyze` plus the suppression-usage audit.
+
+    With ``jobs > 1`` the per-file phase (parsing and every
+    ``check_module``) fans out over a process pool; the cross-file phase
+    (``check_project``) runs in the parent over the assembled project.
+    Findings are sorted at the end either way, so parallel output is
+    byte-identical to serial output (pinned by test).
+    """
+    root_p = Path(root)
+    repo_p = Path(repo) if repo is not None else None
+    wanted = tuple(sorted(select)) if select is not None else None
+    audit = SuppressionAudit()
+
+    if jobs > 1:
+        project, findings = _scan_parallel(root_p, repo_p, wanted, jobs, audit)
+    else:
+        project, findings = _scan_serial(root_p, repo_p, wanted, audit)
+
+    for mod in project.modules.values():
+        for line, tokens in mod.suppressions.items():
+            for token in sorted(tokens):
+                audit.declared.append((mod.rel_path, line, token))
+
     for rule in iter_rules():
         if wanted is not None and rule.id not in wanted:
             continue
-        for mod in project.modules.values():
-            for f in rule.check_module(mod):
-                if not mod.suppressed(f.rule, f.line):
-                    findings.append(f)
         for f in rule.check_project(project):
             mod = _module_for_path(project, f.path)
-            if mod is None or not mod.suppressed(f.rule, f.line):
+            if mod is None or not mod.suppressed(f.rule, f.line, audit.used):
                 findings.append(f)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
+    return findings, audit
+
+
+def _check_one_module(
+    mod: ModuleInfo, wanted: tuple[str, ...] | None
+) -> tuple[list[Finding], set[tuple[str, int, str]]]:
+    """Per-module findings (suppressions applied) and suppression hits."""
+    hits: set[tuple[str, int, str]] = set()
+    kept: list[Finding] = []
+    for rule in iter_rules():
+        if wanted is not None and rule.id not in wanted:
+            continue
+        for f in rule.check_module(mod):
+            if not mod.suppressed(f.rule, f.line, hits):
+                kept.append(f)
+    return kept, hits
+
+
+def _scan_serial(
+    root: Path,
+    repo: Path | None,
+    wanted: tuple[str, ...] | None,
+    audit: SuppressionAudit,
+) -> tuple[Project, list[Finding]]:
+    project = Project(root, repo)
+    findings: list[Finding] = list(project.parse_errors)
+    for mod in project.modules.values():
+        kept, hits = _check_one_module(mod, wanted)
+        findings.extend(kept)
+        audit.used.update(hits)
+    return project, findings
+
+
+def _parallel_worker(
+    task: tuple[str, str, str | None, tuple[str, ...] | None],
+) -> tuple[str, ModuleInfo | Finding, list[Finding], set[tuple[str, int, str]]]:
+    """Process-pool unit: parse one file and run every per-module rule."""
+    path_str, module, repo_str, wanted = task
+    repo = Path(repo_str) if repo_str is not None else Path.cwd()
+    loaded = load_module(Path(path_str), module, repo)
+    if isinstance(loaded, Finding):
+        return module, loaded, [], set()
+    kept, hits = _check_one_module(loaded, wanted)
+    return module, loaded, kept, hits
+
+
+def _scan_parallel(
+    root: Path,
+    repo: Path | None,
+    wanted: tuple[str, ...] | None,
+    jobs: int,
+    audit: SuppressionAudit,
+) -> tuple[Project, list[Finding]]:
+    import multiprocessing
+
+    sources = Project.iter_sources(root)
+    project = Project(root, repo, load=False)
+    findings: list[Finding] = []
+    tasks = [
+        (str(path), module, str(project.repo), wanted) for path, module in sources
+    ]
+    # chunksize 1 keeps scheduling simple; result order follows input
+    # order, so assembly (and therefore output) is deterministic.
+    with multiprocessing.get_context().Pool(processes=jobs) as pool:
+        results = pool.map(_parallel_worker, tasks, chunksize=1)
+    for module, loaded, kept, hits in results:
+        if isinstance(loaded, Finding):
+            project.parse_errors.append(loaded)
+        else:
+            project.modules[module] = loaded
+        findings.extend(kept)
+        audit.used.update(hits)
+    findings.extend(project.parse_errors)
+    return project, findings
 
 
 def _module_for_path(project: Project, rel_path: str) -> ModuleInfo | None:

@@ -1,0 +1,800 @@
+"""The flow/concurrency rule family (F1, C1, C2, G1).
+
+Where :mod:`tools.reprolint.rules` checks one file at a time, these
+rules consume the cross-file layers — per-function summaries
+(:mod:`tools.reprolint.summaries`) and the module graph
+(:mod:`tools.reprolint.graph`) — to catch the bug classes the live
+asyncio plane (PR 7) introduced, which no single-file syntactic rule
+can see:
+
+* **F1** interprocedural RNG-stream provenance: a stream named for
+  component X must not flow (directly or through a local binding) into
+  a call defined by another component.  This closes the hole left by
+  D2, which only inspects the call site that *requests* a stream, not
+  where the generator is then passed.
+* **C1** await-interleaving hazards in ``repro.live``: shared ``self``
+  state read before an ``await`` and written after it without being
+  re-read (revalidated) is flagged, as is a fire-and-forget
+  ``create_task`` whose exceptions have nowhere to go.
+* **C2** asyncio callback exception safety: datagram/protocol callbacks
+  run directly off the event loop, so an escaping exception kills the
+  transport.  Every risky statement in a callback must sit under the
+  counted-never-raised pattern (``except Exception: self.counter += 1``)
+  or delegate to a project function that does.
+* **G1** codec<->grammar drift: every ``repro.net.messages`` payload
+  field must have a wire encoding, every declared wire kind an explicit
+  arm in both ``encode`` and ``decode``, the ``type_name`` tags must
+  match ``MSG_TYPES`` 1:1, and any grammar change must be acknowledged
+  by updating ``GRAMMAR_FINGERPRINT`` (whose version prefix is pinned
+  to ``WIRE_VERSION``, so the acknowledgement happens next to the bump).
+
+``docs/analysis.md`` documents each rule with violating/conforming
+examples.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from typing import Callable, Iterator
+
+from tools.reprolint.engine import Finding, ModuleInfo, Project, Rule, register
+from tools.reprolint.summaries import (
+    FunctionSummary,
+    _is_counting_handler,
+    _own_scope,
+    _qualname,
+    _walk_defs,
+)
+
+__all__ = [
+    "RngStreamProvenance",
+    "AwaitInterleavingHazard",
+    "CallbackExceptionSafety",
+    "CodecGrammarDrift",
+]
+
+
+def _in_package(module: str, package: str) -> bool:
+    return module == package or module.startswith(package + ".")
+
+
+# -- F1 -------------------------------------------------------------------
+
+
+@register
+class RngStreamProvenance(Rule):
+    """F1: a named RNG stream stays inside the component it names.
+
+    The registry's named substreams partition the world's randomness by
+    component (D2's premise).  D2 audits the *request* site; F1 follows
+    the generator itself: a ``rngs.stream("net:faults")`` handed to a
+    constructor defined in ``repro.workloads`` couples the fault and
+    churn draw sequences even though every individual call site looks
+    disciplined.  Flows are taken from the function summaries (direct
+    arguments and single-assignment local bindings) and the callee is
+    resolved through the module graph; unresolvable callees (builtins,
+    third-party, instance attributes) are skipped, never guessed.
+    """
+
+    id = "F1"
+    name = "rng-stream-provenance"
+    description = "a named RNG stream may not flow into another component"
+
+    #: stream name (or its pre-colon family) -> components allowed to
+    #: receive a generator drawn from it.
+    STREAM_OWNERS: dict[str, tuple[str, ...]] = {
+        "prop:engine": ("repro.core", "repro.net"),
+        "net:faults": ("repro.net",),
+        "ltm:engine": ("repro.baselines",),
+        "pis": ("repro.baselines",),
+        "live:traffic": ("repro.live",),
+        "churn": ("repro.workloads",),
+        "heterogeneity": ("repro.workloads",),
+        "topology": ("repro.topology",),
+        "oracle": ("repro.topology",),
+        "membership": ("repro.harness",),
+        "lookup-workload": ("repro.workloads", "repro.harness"),
+        "overlay": ("repro.overlay",),
+    }
+
+    def _owners(self, stream: str) -> tuple[str, ...] | None:
+        if stream in self.STREAM_OWNERS:
+            return self.STREAM_OWNERS[stream]
+        family = stream.partition(":")[0]
+        return self.STREAM_OWNERS.get(family)
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph()
+        summaries = project.summaries()
+        for module in sorted(project.modules):
+            mod = project.modules[module]
+            summary = summaries[module]
+            flows = list(summary.module_flows)
+            for fn in summary.functions:
+                flows.extend(fn.stream_flows)
+            for flow in flows:
+                component = graph.defining_component(module, flow.callee)
+                if component is None:
+                    continue  # not provably a project call
+                owners = self._owners(flow.stream)
+                if owners is None:
+                    yield Finding(
+                        self.id, mod.rel_path, flow.line, flow.col,
+                        f"stream {flow.stream!r} flows into `{flow.callee}` but has "
+                        "no registered owner; add it to "
+                        "RngStreamProvenance.STREAM_OWNERS",
+                    )
+                elif component not in owners:
+                    allowed = ", ".join(owners)
+                    yield Finding(
+                        self.id, mod.rel_path, flow.line, flow.col,
+                        f"stream {flow.stream!r} flows into `{flow.callee}` "
+                        f"(defined in {component}); it is reserved for {allowed} — "
+                        "draw the callee's stream from the registry instead",
+                    )
+
+
+# -- C1 -------------------------------------------------------------------
+
+_SPAWNERS = frozenset({"create_task", "ensure_future"})
+_Event = tuple[str, str | None, ast.AST]  # kind in {load, store, await}
+
+
+def _self_chain(node: ast.expr) -> str | None:
+    """The dotted chain when ``node`` is a ``self.*`` attribute access."""
+    qn = _qualname(node)
+    if qn is not None and qn.startswith("self.") and qn != "self":
+        return qn
+    return None
+
+
+class _EventWalk:
+    """Linearize one async function body into load/store/await events.
+
+    Only ``self``-rooted attribute chains are tracked — they are the
+    shared state another task can mutate while this one is suspended.
+    The walk follows evaluation order where it matters: assignment
+    values before targets, awaited expressions before the suspension
+    point itself.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[_Event] = []
+
+    def walk(self, body: list[ast.stmt]) -> list[_Event]:
+        for stmt in body:
+            self._stmt(stmt)
+        return self.events
+
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scope, analyzed separately
+        if isinstance(node, ast.Assign):
+            self._expr(node.value)
+            for t in node.targets:
+                self._store(t)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                self._expr(node.value)
+                self._store(node.target)
+        elif isinstance(node, ast.AugAssign):
+            self._expr(node.value)
+            chain = _self_chain(node.target)
+            if chain is not None:
+                self.events.append(("load", chain, node.target))
+                self.events.append(("store", chain, node.target))
+        elif isinstance(node, ast.AsyncFor):
+            self._expr(node.iter)
+            self.events.append(("await", None, node))
+            self._store(node.target)
+            for s in [*node.body, *node.orelse]:
+                self._stmt(s)
+        elif isinstance(node, ast.AsyncWith):
+            for item in node.items:
+                self._expr(item.context_expr)
+            self.events.append(("await", None, node))
+            for s in node.body:
+                self._stmt(s)
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    self._stmt(child)
+                elif isinstance(child, ast.expr):
+                    self._expr(child)
+                elif isinstance(child, ast.ExceptHandler):
+                    for s in child.body:
+                        self._stmt(s)
+                elif isinstance(child, (ast.withitem, ast.keyword)):
+                    for sub in ast.iter_child_nodes(child):
+                        if isinstance(sub, ast.expr):
+                            self._expr(sub)
+
+    def _expr(self, node: ast.expr) -> None:
+        if isinstance(node, ast.Await):
+            self._expr(node.value)
+            self.events.append(("await", None, node))
+            return
+        if isinstance(node, ast.Lambda):
+            return
+        chain = _self_chain(node)
+        if chain is not None:
+            self.events.append(("load", chain, node))
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child)
+            elif isinstance(child, (ast.keyword, ast.comprehension)):
+                for sub in ast.iter_child_nodes(child):
+                    if isinstance(sub, ast.expr):
+                        self._expr(sub)
+
+    def _store(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store(elt)
+        elif isinstance(target, ast.Starred):
+            self._store(target.value)
+        elif isinstance(target, ast.Subscript):
+            self._expr(target.slice)
+            chain = _self_chain(target.value)
+            if chain is not None:
+                self.events.append(("store", chain, target))
+        elif isinstance(target, ast.Attribute):
+            chain = _self_chain(target)
+            if chain is not None:
+                self.events.append(("store", chain, target))
+
+
+@register
+class AwaitInterleavingHazard(Rule):
+    """C1: await points in ``repro.live`` must not invalidate cached state.
+
+    Every ``await`` is a point where *any* other task (a datagram
+    callback, a timer, another protocol round) may run and mutate shared
+    engine/overlay state.  A value of ``self.x`` read before the await
+    and used to write ``self.x`` after it silently overwrites whatever
+    the interleaved task did — the classic lost-update.  The fix is
+    either to finish the read-modify-write before suspending or to
+    re-read (revalidate) after resuming; a post-await re-read of the
+    same chain clears the finding.
+
+    The second hazard is ``asyncio.create_task`` with the returned task
+    discarded: its exception is swallowed until garbage collection logs
+    an opaque "Task exception was never retrieved".  The task must be
+    awaited, gathered, passed somewhere that manages it, or given an
+    ``add_done_callback`` exception sink.
+    """
+
+    id = "C1"
+    name = "await-interleaving-hazard"
+    description = "stale read-across-await writes and sink-less create_task"
+
+    SCOPE = "repro.live"
+
+    def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if not _in_package(mod.module, self.SCOPE):
+            return
+        for _cls, fn in _walk_defs(mod.tree.body, None):
+            if isinstance(fn, ast.AsyncFunctionDef):
+                yield from self._check_interleaving(mod, fn)
+            yield from self._check_fire_and_forget(mod, fn)
+
+    def _check_interleaving(
+        self, mod: ModuleInfo, fn: ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        events = _EventWalk().walk(fn.body)
+        awaits = [i for i, (kind, _, _) in enumerate(events) if kind == "await"]
+        if not awaits:
+            return
+        reported: set[str] = set()
+        for k, (kind, chain, node) in enumerate(events):
+            if kind != "store" or chain is None or chain in reported:
+                continue
+            before = [i for i in awaits if i < k]
+            if not before:
+                continue
+            last_await = before[-1]
+            loads = [
+                i
+                for i, (ek, ec, _) in enumerate(events)
+                if ek == "load" and ec == chain
+            ]
+            read_before_suspend = any(i < last_await for i in loads)
+            revalidated = any(last_await < i < k for i in loads)
+            if read_before_suspend and not revalidated:
+                reported.add(chain)
+                yield mod.finding(
+                    self.id, node,
+                    f"`{chain}` was read before an `await` and is written here "
+                    "without being re-read after resuming; another task may have "
+                    "changed it across the suspension — revalidate after the "
+                    "await or restructure the update to complete before it",
+                )
+
+    def _check_fire_and_forget(
+        self, mod: ModuleInfo, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in _own_scope(fn.body):
+            if isinstance(node, ast.Expr) and self._is_spawn(node.value):
+                yield mod.finding(
+                    self.id, node,
+                    "fire-and-forget task: the Task object (and its exception) "
+                    "is discarded; keep a reference and await/gather it or "
+                    "attach an add_done_callback exception sink",
+                )
+            elif (
+                isinstance(node, ast.Assign)
+                and self._is_spawn(node.value)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                name = node.targets[0].id
+                if not self._has_sink(fn, name):
+                    yield mod.finding(
+                        self.id, node,
+                        f"task bound to `{name}` has no exception sink: it is "
+                        "never awaited, gathered, handed off, or given an "
+                        "add_done_callback",
+                    )
+
+    @staticmethod
+    def _is_spawn(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and (_qualname(node.func) or "").rpartition(".")[2] in _SPAWNERS
+        )
+
+    @staticmethod
+    def _has_sink(
+        fn: ast.FunctionDef | ast.AsyncFunctionDef, name: str
+    ) -> bool:
+        def mentions(sub: ast.AST) -> bool:
+            return any(
+                isinstance(n, ast.Name) and n.id == name for n in ast.walk(sub)
+            )
+
+        for node in _own_scope(fn.body):
+            if isinstance(node, ast.Await) and mentions(node.value):
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "add_done_callback"
+                    and _qualname(func.value) == name
+                ):
+                    return True
+                if AwaitInterleavingHazard._is_spawn(node):
+                    continue  # the spawn call itself is not a sink
+                args = [*node.args, *(kw.value for kw in node.keywords)]
+                if any(mentions(a) for a in args):
+                    return True  # handed off to something that manages it
+            if isinstance(node, ast.Return) and node.value and mentions(node.value):
+                return True  # the caller owns it now
+        return False
+
+
+# -- C2 -------------------------------------------------------------------
+
+
+@register
+class CallbackExceptionSafety(Rule):
+    """C2: asyncio protocol callbacks follow counted-never-raised.
+
+    ``datagram_received`` and friends are invoked directly by the event
+    loop; an exception escaping one is routed to the loop's exception
+    handler, detaching the transport mid-experiment.  The live plane's
+    contract (transport module docs) is that malformed input and handler
+    failures are *counted, never raised*.  A callback passes when every
+    risky statement (a call or a raise) either sits under a broad
+    counting ``except`` or delegates to a project function whose own
+    body is exception-safe (resolved through the module graph / class
+    summaries, so the pattern may live one call deep).
+    """
+
+    id = "C2"
+    name = "callback-exception-safety"
+    description = "protocol callbacks must count errors, never raise"
+
+    SCOPE = "repro.live"
+    CALLBACKS = frozenset(
+        {"datagram_received", "error_received", "connection_made",
+         "connection_lost"}
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        summaries = project.summaries()
+        graph = project.graph()
+        for module in sorted(project.modules):
+            if not _in_package(module, self.SCOPE):
+                continue
+            mod = project.modules[module]
+            summary = summaries[module]
+            for fn in summary.functions:
+                if fn.name not in self.CALLBACKS or fn.cls is None:
+                    continue
+                if fn.exception_safe:
+                    continue
+
+                def resolves_safe(call: ast.Call, fn: FunctionSummary = fn) -> bool:
+                    return self._call_is_safe(call, fn, module, summaries, graph)
+
+                if self._callback_safe(fn.node.body, False, resolves_safe):
+                    continue
+                yield mod.finding(
+                    self.id, fn.node,
+                    f"`{fn.qualname}` is an event-loop callback but can raise: "
+                    "wrap risky statements in the counted-never-raised pattern "
+                    "(`except Exception: self.<counter> += 1`) or delegate to "
+                    "a helper that does",
+                )
+
+    def _call_is_safe(
+        self,
+        call: ast.Call,
+        fn: FunctionSummary,
+        module: str,
+        summaries: dict[str, object],
+        graph: object,
+    ) -> bool:
+        qn = _qualname(call.func)
+        if qn is None:
+            return False
+        if qn.startswith("self.") and qn.count(".") == 1:
+            target = summaries[module].get(f"{fn.cls}.{qn[5:]}")  # type: ignore[attr-defined]
+            return target is not None and target.exception_safe
+        resolved = graph.resolve(module, qn)  # type: ignore[attr-defined]
+        if resolved is None:
+            return False
+        def_module, symbol = resolved
+        target_summary = summaries.get(def_module)
+        if target_summary is None:
+            return False
+        target = target_summary.get(symbol)  # type: ignore[attr-defined]
+        return target is not None and target.exception_safe
+
+    def _callback_safe(
+        self,
+        body: list[ast.stmt],
+        guarded: bool,
+        is_safe: Callable[[ast.Call], bool],
+    ) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Try):
+                inner = guarded or any(
+                    _is_counting_handler(h) for h in stmt.handlers
+                )
+                if not self._callback_safe(stmt.body, inner, is_safe):
+                    return False
+                for h in stmt.handlers:
+                    if not self._callback_safe(h.body, guarded, is_safe):
+                        return False
+                if not self._callback_safe(stmt.orelse, guarded, is_safe):
+                    return False
+                if not self._callback_safe(stmt.finalbody, guarded, is_safe):
+                    return False
+            elif isinstance(
+                stmt, (ast.If, ast.For, ast.While, ast.With, ast.AsyncFor,
+                       ast.AsyncWith)
+            ):
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    headers: list[ast.expr] = [
+                        item.context_expr for item in stmt.items
+                    ]
+                else:
+                    headers = [
+                        c for c in ast.iter_child_nodes(stmt)
+                        if isinstance(c, ast.expr)
+                    ]
+                if not guarded and any(
+                    isinstance(n, ast.Call) and not is_safe(n)
+                    for h in headers
+                    for n in ast.walk(h)
+                ):
+                    return False
+                for block in (
+                    stmt.body,
+                    getattr(stmt, "orelse", []),
+                ):
+                    if not self._callback_safe(block, guarded, is_safe):
+                        return False
+            elif not guarded and self._risky_stmt(stmt, is_safe):
+                return False
+        return True
+
+    @staticmethod
+    def _risky_stmt(stmt: ast.stmt, is_safe: Callable[[ast.Call], bool]) -> bool:
+        for node in _own_scope([stmt]):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call) and not is_safe(node):
+                return True
+        return False
+
+
+# -- G1 -------------------------------------------------------------------
+
+
+@register
+class CodecGrammarDrift(Rule):
+    """G1: the wire codec and the message grammar cannot drift apart.
+
+    The live plane's determinism bridge rests on "a decoded message is
+    byte-for-byte the dataclass the engine would have received in the
+    simulator".  Three ways that silently breaks, all caught here
+    statically (the round-trip property test only covers fields that
+    *both* sides already know about):
+
+    * a grammar field whose annotation has no entry in the codec's
+      declared ``WIRE_KINDS`` (it would raise at import, but only when
+      the live plane is actually imported);
+    * a wire kind declared in ``WIRE_KINDS`` with no explicit
+      ``kind == "..."`` arm in ``encode`` *and* ``decode`` (deleting an
+      arm must fail analyze — the acceptance test pins this);
+    * a ``type_name`` tag set diverging from ``MSG_TYPES``, which
+      renumbers wire tags.
+
+    Finally the grammar is fingerprinted (sha256 over every message's
+    name and annotated payload fields, in ``MSG_TYPES`` order) and the
+    codec must carry the current value in ``GRAMMAR_FINGERPRINT`` with a
+    version prefix equal to ``WIRE_VERSION`` — so any grammar change
+    forces an edit right next to the version constant, where the bump
+    decision belongs.
+    """
+
+    id = "G1"
+    name = "codec-grammar-drift"
+    description = "messages grammar <-> wire codec must agree, with fingerprint"
+
+    MESSAGES_MODULE = "repro.net.messages"
+    CODEC_MODULE = "repro.live.codec"
+    BASE_CLASS = "Message"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        messages = project.modules.get(self.MESSAGES_MODULE)
+        codec = project.modules.get(self.CODEC_MODULE)
+        if messages is None or codec is None:
+            return
+        grammar = self._grammar(messages)  # class name -> (type_name, fields)
+        msg_types = self._msg_types(messages)
+        wire_kinds = self._wire_kinds(codec)
+
+        if wire_kinds is None:
+            yield codec.finding(
+                self.id, 1,
+                "codec must declare a literal `WIRE_KINDS` dict mapping "
+                "annotation text to wire kind",
+            )
+            return
+
+        # 1. every payload field has a wire encoding
+        for cls_name, (_tname, fields_) in sorted(grammar.items()):
+            for fname, ann, line in fields_:
+                if ann not in wire_kinds:
+                    yield messages.finding(
+                        self.id, line,
+                        f"`{cls_name}.{fname}` is annotated `{ann}`, which has "
+                        "no entry in the codec's WIRE_KINDS; add a wire "
+                        "encoding (and bump WIRE_VERSION)",
+                    )
+
+        # 2. every declared kind has an explicit arm in encode and decode
+        for func_name in ("encode", "decode"):
+            fn = self._function(codec, func_name)
+            if fn is None:
+                yield codec.finding(
+                    self.id, 1,
+                    f"codec has no `{func_name}` function to check kind "
+                    "coverage against",
+                )
+                continue
+            arms = self._kind_arms(fn)
+            for kind in sorted(set(wire_kinds.values())):
+                if kind not in arms:
+                    yield codec.finding(
+                        self.id, fn,
+                        f"`{func_name}` has no `kind == \"{kind}\"` arm for a "
+                        "kind declared in WIRE_KINDS",
+                    )
+            for kind in sorted(arms - set(wire_kinds.values())):
+                yield codec.finding(
+                    self.id, fn,
+                    f"`{func_name}` has an arm for kind \"{kind}\" that "
+                    "WIRE_KINDS does not declare (dead arm or missing entry)",
+                )
+
+        # 3. type_name tags <-> MSG_TYPES, 1:1
+        declared_tags = {tname for tname, _ in grammar.values()}
+        for tag in sorted(set(msg_types) - declared_tags):
+            yield messages.finding(
+                self.id, 1,
+                f"MSG_TYPES names {tag!r} but no message class declares it "
+                "as type_name",
+            )
+        for cls_name, (tname, _) in sorted(grammar.items()):
+            if tname not in msg_types:
+                yield messages.finding(
+                    self.id, 1,
+                    f"message class `{cls_name}` has type_name {tname!r} which "
+                    "MSG_TYPES does not list; the wire tag table is stale",
+                )
+
+        # 4. fingerprint acknowledgement
+        version = self._int_constant(codec, "WIRE_VERSION")
+        declared_fp = self._str_constant(codec, "GRAMMAR_FINGERPRINT")
+        expected = self._fingerprint(grammar, msg_types, version)
+        if declared_fp is None:
+            yield codec.finding(
+                self.id, 1,
+                f"codec must declare GRAMMAR_FINGERPRINT = {expected!r} "
+                "(the current grammar's fingerprint)",
+            )
+        elif declared_fp != expected:
+            yield codec.finding(
+                self.id, 1,
+                f"GRAMMAR_FINGERPRINT is {declared_fp!r} but the grammar "
+                f"hashes to {expected!r}; the message grammar changed — "
+                "update the fingerprint and bump WIRE_VERSION",
+            )
+
+    # -- extraction helpers ------------------------------------------------
+
+    def _grammar(
+        self, mod: ModuleInfo
+    ) -> dict[str, tuple[str, list[tuple[str, str, int]]]]:
+        """class name -> (type_name literal, [(field, annotation, line)])."""
+        out: dict[str, tuple[str, list[tuple[str, str, int]]]] = {}
+        for node in mod.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            is_message = any(
+                (_qualname(b) or "").rpartition(".")[2] == self.BASE_CLASS
+                for b in node.bases
+            )
+            if not is_message:
+                continue
+            tname: str | None = None
+            fields_: list[tuple[str, str, int]] = []
+            for item in node.body:
+                if not (
+                    isinstance(item, ast.AnnAssign)
+                    and isinstance(item.target, ast.Name)
+                ):
+                    continue
+                ann = ast.unparse(item.annotation)
+                if item.target.id == "type_name":
+                    if isinstance(item.value, ast.Constant) and isinstance(
+                        item.value.value, str
+                    ):
+                        tname = item.value.value
+                elif "ClassVar" not in ann and item.target.id not in ("src", "dst"):
+                    fields_.append((item.target.id, ann, item.lineno))
+            if tname is not None:
+                out[node.name] = (tname, fields_)
+        return out
+
+    @staticmethod
+    def _msg_types(mod: ModuleInfo) -> tuple[str, ...]:
+        for node in mod.tree.body:
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "MSG_TYPES"
+                for t in node.targets
+            ):
+                value = node.value
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == "MSG_TYPES"
+            ):
+                value = node.value
+            if isinstance(value, ast.Tuple):
+                return tuple(
+                    e.value
+                    for e in value.elts
+                    if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                )
+        return ()
+
+    @staticmethod
+    def _wire_kinds(mod: ModuleInfo) -> dict[str, str] | None:
+        for node in mod.tree.body:
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "WIRE_KINDS"
+                for t in node.targets
+            ):
+                value = node.value
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == "WIRE_KINDS"
+            ):
+                value = node.value
+            if isinstance(value, ast.Dict):
+                out: dict[str, str] = {}
+                for k, v in zip(value.keys, value.values):
+                    if (
+                        isinstance(k, ast.Constant)
+                        and isinstance(k.value, str)
+                        and isinstance(v, ast.Constant)
+                        and isinstance(v.value, str)
+                    ):
+                        out[k.value] = v.value
+                return out
+        return None
+
+    @staticmethod
+    def _function(mod: ModuleInfo, name: str) -> ast.FunctionDef | None:
+        for node in mod.tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == name:
+                return node
+        return None
+
+    @staticmethod
+    def _kind_arms(fn: ast.FunctionDef) -> set[str]:
+        """Every string K compared as ``kind == "K"`` inside ``fn``."""
+        arms: set[str] = set()
+        for node in ast.walk(fn):
+            if not (
+                isinstance(node, ast.Compare)
+                and isinstance(node.left, ast.Name)
+                and node.left.id == "kind"
+                and len(node.ops) == 1
+                and isinstance(node.ops[0], ast.Eq)
+                and isinstance(node.comparators[0], ast.Constant)
+                and isinstance(node.comparators[0].value, str)
+            ):
+                continue
+            arms.add(node.comparators[0].value)
+        return arms
+
+    @staticmethod
+    def _int_constant(mod: ModuleInfo, name: str) -> int | None:
+        for node in mod.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == name
+                    for t in node.targets
+                )
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)
+            ):
+                return node.value.value
+        return None
+
+    @staticmethod
+    def _str_constant(mod: ModuleInfo, name: str) -> str | None:
+        for node in mod.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == name
+                    for t in node.targets
+                )
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                return node.value.value
+        return None
+
+    @staticmethod
+    def _fingerprint(
+        grammar: dict[str, tuple[str, list[tuple[str, str, int]]]],
+        msg_types: tuple[str, ...],
+        version: int | None,
+    ) -> str:
+        """Canonical grammar hash: names + annotated payload fields, in
+        wire-tag order.  Must match :func:`repro.live.codec.grammar_fingerprint`."""
+        by_tag = {tname: fields_ for tname, fields_ in grammar.values()}
+        parts = []
+        for tname in msg_types:
+            fields_ = by_tag.get(tname)
+            if fields_ is None:
+                continue  # already reported as a tag mismatch
+            spec = " ".join(f"{fname}:{ann}" for fname, ann, _ in fields_)
+            parts.append(f"{tname} {spec}".rstrip())
+        digest = hashlib.sha256(";".join(parts).encode("utf-8")).hexdigest()[:16]
+        return f"{version if version is not None else '?'}:{digest}"
