@@ -12,6 +12,15 @@ n = 1000, one simulated hour of PROP-G with nhops = 2) in three arms:
   cost of turning tracing on is a recorded number rather than folklore.
 * the per-run event count, for tokens/second style context.
 
+A second off/on triple measures **span tracing** on the message plane
+(spans only exist there — the inline engines have no messages to
+bracket): the same Section 5.1 world at n = 300 through
+``SimTransport``, untraced vs fully traced.  The traced arm carries the
+span events' full cost — roughly two extra events per message — so the
+ratio is the price of causal tracing, and the untraced arm pins the
+price of *not* tracing (context stamping resolves to enabled-checks)
+under the same bench gate.
+
 Each arm is the best of ``REPEATS`` runs (best-of is the standard way to
 strip scheduler noise from a deterministic workload).  Results land in
 ``BENCH_obs.json`` at the repo root — the repo's first benchmark
@@ -48,6 +57,16 @@ FIG5_WORKLOAD = ExperimentConfig(
     lookups_per_sample=1000,
 )
 
+#: Span-tracing arm: the same world through the message plane, scaled to
+#: n = 300 so best-of-3 on both arms stays under half a minute (the
+#: traced arm records every message flight and handler as a span pair).
+SPAN_WORKLOAD = FIG5_WORKLOAD.but(
+    n_overlay=300,
+    transport="sim",
+    duration=1800.0,
+    lookups_per_sample=0,
+)
+
 
 def _best_of(config: ExperimentConfig, repeats: int = REPEATS) -> tuple[float, int]:
     """(best wall seconds, events recorded) over ``repeats`` runs."""
@@ -68,8 +87,10 @@ def main(out_path: str | Path = Path(__file__).resolve().parents[1] / "BENCH_obs
 
     untraced_s, _ = _best_of(FIG5_WORKLOAD)
     traced_s, n_events = _best_of(FIG5_WORKLOAD.but(trace=True))
+    span_off_s, _ = _best_of(SPAN_WORKLOAD)
+    span_on_s, span_events = _best_of(SPAN_WORKLOAD.but(trace=True))
     payload = {
-        "schema_version": "repro.bench-obs/2",
+        "schema_version": "repro.bench-obs/3",
         "benchmark": "obs-overhead/fig5a-gnutella",
         "workload": {
             "preset": FIG5_WORKLOAD.preset,
@@ -84,6 +105,15 @@ def main(out_path: str | Path = Path(__file__).resolve().parents[1] / "BENCH_obs
         "tracing_overhead_ratio": round(traced_s / untraced_s, 4),
         "events_recorded": n_events,
         "events_per_traced_second": round(n_events / traced_s, 1),
+        "span_workload": {
+            "n_overlay": SPAN_WORKLOAD.n_overlay,
+            "transport": SPAN_WORKLOAD.transport,
+            "duration_s": SPAN_WORKLOAD.duration,
+        },
+        "span_untraced_seconds": round(span_off_s, 4),
+        "span_traced_seconds": round(span_on_s, 4),
+        "span_overhead_ratio": round(span_on_s / span_off_s, 4),
+        "span_events_recorded": span_events,
         "python": platform.python_version(),
         "git_rev": current_git_rev(Path(__file__).resolve().parent),
     }
@@ -97,6 +127,15 @@ def main(out_path: str | Path = Path(__file__).resolve().parents[1] / "BENCH_obs
             "tracing_overhead_ratio": payload["tracing_overhead_ratio"],
         },
         config=FIG5_WORKLOAD,
+    )
+    record_history(
+        "obs-overhead/spans-msg-plane",
+        {
+            "untraced_seconds": payload["span_untraced_seconds"],
+            "traced_seconds": payload["span_traced_seconds"],
+            "span_overhead_ratio": payload["span_overhead_ratio"],
+        },
+        config=SPAN_WORKLOAD,
     )
     print(json.dumps(payload, indent=1))
     print(f"wrote {out_path}")

@@ -77,6 +77,18 @@ def build_parser() -> argparse.ArgumentParser:
     swarm.add_argument("--monitor", action="store_true",
                        help="stream events to the convergence monitor and "
                             "print its final status")
+    swarm.add_argument("--telemetry", type=str, default=None, metavar="PATH",
+                       help="append periodic TelemetrySnapshot JSONL records "
+                            "(registry metrics, open-span gauges, per-peer "
+                            "wire bytes) to PATH")
+    swarm.add_argument("--telemetry-interval", type=float, default=60.0,
+                       metavar="SECONDS",
+                       help="protocol seconds between telemetry snapshots "
+                            "(default: 60)")
+    swarm.add_argument("--trace", type=str, default=None, metavar="PATH",
+                       help="write the buffered event trace (spans included) "
+                            "as JSONL to PATH; analyze with "
+                            "python -m repro.obs spans/critpath")
 
     bench = sub.add_parser("bench", help="fixed-shape throughput run, JSON output")
     _add_common(bench, n_default=50)
@@ -164,11 +176,15 @@ def _cmd_swarm(args: argparse.Namespace) -> int:
         churn = ChurnConfig(rate_per_node=args.churn_rate)
     if (schedule or churn) and args.spares <= 0:
         raise SystemExit("error: churn needs --spares > 0")
+    if args.trace and args.monitor:
+        raise SystemExit("error: --trace needs the buffered tracer; "
+                         "drop --monitor (streaming discards events)")
     config = _config(
         args,
         live_lookup_rate=args.rate,
         n_spare=args.spares,
         churn=churn,
+        trace=bool(args.trace),
         trace_streaming=args.monitor,
     )
     print(
@@ -176,9 +192,23 @@ def _cmd_swarm(args: argparse.Namespace) -> int:
         f"at {args.speedup:g}x ...",
         file=sys.stderr,
     )
-    swarm = Swarm(config, churn_schedule=schedule)
+    swarm = Swarm(
+        config,
+        churn_schedule=schedule,
+        telemetry=args.telemetry,
+        telemetry_interval=args.telemetry_interval,
+    )
     report = asyncio.run(swarm.run())
     print(report.summary())
+    if args.telemetry:
+        print(f"telemetry: {swarm.telemetry_written} snapshots -> "
+              f"{args.telemetry}", file=sys.stderr)
+    if args.trace and swarm.tracer is not None:
+        from repro.obs.trace import write_events_jsonl
+
+        write_events_jsonl(swarm.tracer.events, args.trace)
+        print(f"trace: {len(swarm.tracer.events)} events -> {args.trace}",
+              file=sys.stderr)
     if args.monitor and swarm.tracer is not None:
         from repro.obs.monitor import format_status
 

@@ -60,7 +60,10 @@ __all__ = [
 ]
 
 #: Protocol revision stamped on every frame; bump on any layout change.
-WIRE_VERSION = 1
+#: v2: every message carries the span-context ids (trace_id, span_id,
+#: parent_id) — three i64 payload fields inherited from ``Message``
+#: (docs/protocol.md, "Wire causality context").
+WIRE_VERSION = 2
 
 #: Declared wire encodings: grammar annotation text -> codec kind.  This
 #: is the codec's contract with the message grammar — reprolint rule G1
@@ -79,7 +82,7 @@ WIRE_KINDS: dict[str, str] = {
 #: Rule G1 recomputes this from the grammar source; when it stops
 #: matching, the grammar changed — update it (the new value is in the
 #: finding) and bump WIRE_VERSION above.
-GRAMMAR_FINGERPRINT = "1:2118f0db4c9047cf"
+GRAMMAR_FINGERPRINT = "2:7155b7741ba3710f"
 
 _HEADER = struct.Struct("!BBii")  # version, type tag, src slot, dst slot
 _I64 = struct.Struct("!q")

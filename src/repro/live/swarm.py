@@ -32,6 +32,7 @@ from __future__ import annotations
 import asyncio
 import math
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.harness.experiment import (
     ExperimentConfig,
@@ -44,6 +45,14 @@ from repro.live.traffic import TrafficGenerator, single_lookup
 from repro.live.transport import UdpTransport
 from repro.net.engine import MessagePROPEngine, NetCounters
 from repro.net.transport import TransportStats
+from repro.obs.registry import (
+    MetricsRegistry,
+    absorb_net_counters,
+    absorb_protocol_counters,
+    absorb_transport_stats,
+)
+from repro.obs.spans import SpanAssembler
+from repro.obs.telemetry import TelemetryExporter, TelemetrySnapshot
 from repro.obs.trace import TraceConsumer, Tracer
 from repro.workloads.churn import ChurnConfig, ChurnProcess
 
@@ -159,6 +168,15 @@ class Swarm:
         automatically (same wiring as the simulated harness).
     host:
         Bind address for the peer sockets (default loopback).
+    telemetry:
+        Optional JSONL path; when set, a
+        :class:`~repro.obs.telemetry.TelemetrySnapshot` is appended
+        every ``telemetry_interval`` protocol seconds (plus a final one
+        at close) — registry metrics, open-span gauges and the per-peer
+        wire-byte counters, flushed line by line so the file can be
+        tailed while the swarm runs.
+    telemetry_interval:
+        Snapshot period in protocol seconds (default 60).
     """
 
     def __init__(
@@ -168,6 +186,8 @@ class Swarm:
         churn_schedule: ChurnSchedule | None = None,
         consumers: list[TraceConsumer] | None = None,
         host: str = "127.0.0.1",
+        telemetry: str | Path | None = None,
+        telemetry_interval: float = 60.0,
     ) -> None:
         if config.transport != "udp":
             raise ValueError(f"Swarm needs transport='udp', got {config.transport!r}")
@@ -175,6 +195,10 @@ class Swarm:
             raise ValueError("Swarm runs PROP; set config.prop")
         if churn_schedule is not None and churn_schedule.stages and config.n_spare == 0:
             raise ValueError("churn_schedule needs n_spare > 0 replacement hosts")
+        if telemetry is not None and telemetry_interval <= 0.0:
+            raise ValueError(
+                f"telemetry_interval must be positive, got {telemetry_interval}"
+            )
         self.config = config
         self.churn_schedule = churn_schedule
         self._extra_consumers = list(consumers) if consumers else []
@@ -187,6 +211,12 @@ class Swarm:
         self.traffic: TrafficGenerator | None = None
         self.tracer: Tracer | None = None
         self.report: SwarmReport | None = None
+        self.telemetry_interval = float(telemetry_interval)
+        self.telemetry_written = 0
+        self._telemetry = (
+            TelemetryExporter(telemetry) if telemetry is not None else None
+        )
+        self._span_gauges: SpanAssembler | None = None
         self._launched = False
         self._wall_start = 0.0
 
@@ -203,14 +233,19 @@ class Swarm:
         self.scheduler = scheduler
 
         tracer: Tracer | None = None
-        if config.trace or config.trace_streaming:
+        if config.trace or config.trace_streaming or self._telemetry is not None:
+            # telemetry without tracing still needs the event bus for the
+            # span gauges; stream in that case so memory stays bounded
             tracer = Tracer(
                 clock=lambda: scheduler.now,
-                streaming=config.trace_streaming,
+                streaming=config.trace_streaming or not config.trace,
                 consumers=monitor_consumers(config) if config.trace_streaming else (),
             )
             for consumer in self._extra_consumers:
                 tracer.add_consumer(consumer)
+            if self._telemetry is not None:
+                self._span_gauges = SpanAssembler(keep_trees=False)
+                tracer.add_consumer(self._span_gauges)
         self.tracer = tracer
 
         self.transport = await UdpTransport.create(
@@ -298,6 +333,36 @@ class Swarm:
         if self.churn_schedule is not None and self.churn is not None:
             for t, k in self.churn_schedule.stages:
                 self.scheduler.schedule_at(t, self._churn_stage, k)
+        if self._telemetry is not None:
+            self.scheduler.schedule(self.telemetry_interval, self._telemetry_tick)
+
+    def _telemetry_snapshot(self) -> TelemetrySnapshot:
+        assert (self.scheduler is not None and self.engine is not None
+                and self.transport is not None and self._telemetry is not None)
+        registry = MetricsRegistry()
+        absorb_protocol_counters(registry, self.engine.counters)
+        absorb_net_counters(registry, self.engine.net_counters)
+        absorb_transport_stats(registry, self.transport.stats)
+        gauges = self._span_gauges
+        return TelemetrySnapshot(
+            time=self.scheduler.now,
+            seq=self._telemetry.written,
+            metrics=registry.snapshot(),
+            open_spans=gauges.open_spans if gauges is not None else 0,
+            open_traces=gauges.open_traces if gauges is not None else 0,
+            spans_completed=gauges.completed if gauges is not None else 0,
+            wire_bytes_out=dict(self.transport.wire_bytes_out),
+            wire_bytes_in=dict(self.transport.wire_bytes_in),
+        )
+
+    def _telemetry_tick(self) -> None:
+        # close() nulls the exporter after the final snapshot, so a tick
+        # that fires during teardown is a no-op
+        if self._telemetry is None or self.scheduler is None:
+            return
+        self._telemetry.write(self._telemetry_snapshot())
+        self.telemetry_written = self._telemetry.written
+        self.scheduler.schedule(self.telemetry_interval, self._telemetry_tick)
 
     def _churn_stage(self, k: int) -> None:
         assert self.churn is not None  # scheduled only when churn exists
@@ -327,6 +392,14 @@ class Swarm:
         wall = loop.time() - self._wall_start if self._launched else 0.0
         self.engine.finalize_trace()
         self.transport.close()
+        if self._telemetry is not None:
+            # final snapshot after finalize_trace (in-flight roots are
+            # closed end-of-run) but before the tracer flushes the span
+            # assembler, so it still shows genuinely half-open spans
+            self._telemetry.write(self._telemetry_snapshot())
+            self.telemetry_written = self._telemetry.written
+            self._telemetry.close()
+            self._telemetry = None
         if self.tracer is not None:
             self.tracer.close(duration)
         stats = self.transport.stats

@@ -43,7 +43,12 @@ from repro.live.codec import CodecError, decode, encode
 from repro.live.node import PeerNode
 from repro.net.messages import Message
 from repro.net.transport import Handler, TransportStats, trace_tag
-from repro.obs.events import MsgDeliverEvent, MsgSendEvent
+from repro.obs.events import (
+    MsgDeliverEvent,
+    MsgSendEvent,
+    SpanEndEvent,
+    SpanStartEvent,
+)
 from repro.obs.trace import NULL_TRACER, TracerLike
 
 __all__ = ["UdpTransport", "udp_loopback_available"]
@@ -99,6 +104,11 @@ class UdpTransport:
         self.misrouted = 0
         self.handler_errors = 0
         self.wire_bytes_sent = 0
+        #: Per-peer wire-byte counters (slot -> bytes), fed to the
+        #: telemetry exporter; sent is keyed by the source slot,
+        #: received by the destination slot.
+        self.wire_bytes_out: dict[int, int] = {}
+        self.wire_bytes_in: dict[int, int] = {}
         self._handlers: dict[int, Handler] = {}
         self._closed = False
 
@@ -142,6 +152,12 @@ class UdpTransport:
         if self.tracer.enabled:
             self.tracer.emit(MsgSendEvent, mtype=msg.type_name, src=msg.src,
                              dst=msg.dst, tag=trace_tag(msg))
+            if msg.span_id >= 0:
+                # open the in-flight span; real datagram loss leaves it
+                # half-open, which the span analyzer reports as such
+                self.tracer.emit(SpanStartEvent, trace=msg.trace_id,
+                                 span=msg.span_id, parent=msg.parent_id,
+                                 name=f"msg:{msg.type_name}", node=msg.src)
         if extra_delay_ms > 0.0:
             self.scheduler.schedule(extra_delay_ms * _MS, self._transmit, msg)
         else:
@@ -152,6 +168,9 @@ class UdpTransport:
             return
         data = encode(msg)
         self.wire_bytes_sent += len(data)
+        self.wire_bytes_out[msg.src] = (
+            self.wire_bytes_out.get(msg.src, 0) + len(data)
+        )
         self.nodes[msg.src].sendto(data, self.nodes[msg.dst].address)
 
     # -- receive path ------------------------------------------------------
@@ -168,6 +187,7 @@ class UdpTransport:
             self.misrouted += 1
             return
         self.stats.record_delivery(msg)
+        self.wire_bytes_in[slot] = self.wire_bytes_in.get(slot, 0) + len(data)
         if self.tracer.enabled:
             self.tracer.emit(MsgDeliverEvent, mtype=msg.type_name, src=msg.src,
                              dst=msg.dst, tag=trace_tag(msg))
@@ -179,6 +199,11 @@ class UdpTransport:
                 handler(msg)
             except Exception:
                 self.handler_errors += 1
+        # closed after the handler, mirroring SimTransport: the handler's
+        # proc span is on the books before this trace can look complete
+        if self.tracer.enabled and msg.span_id >= 0:
+            self.tracer.emit(SpanEndEvent, trace=msg.trace_id,
+                             span=msg.span_id, status="ok")
 
     def close(self) -> None:
         """Stop accepting traffic and close every peer socket."""

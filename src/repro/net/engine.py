@@ -37,7 +37,7 @@ test).  To keep fire times aligned, the next probe is scheduled at
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.config import PROPConfig
 from repro.core.exchange import execute_prop_g, execute_prop_o
@@ -64,6 +64,8 @@ from repro.obs.events import (
     ExchangeTimeoutEvent,
     MsgTimeoutEvent,
     ProbeEvent,
+    SpanEndEvent,
+    SpanStartEvent,
     VarCollectEvent,
 )
 from repro.obs.trace import TracerLike
@@ -132,6 +134,8 @@ class _Cycle:
     give_v: tuple[int, ...] = ()
     var: float | None = None
     retries: int = 0
+    trace: int = -1  # span-context: the cycle's trace id (-1 untraced)
+    root_span: int = -1  # span-context: the root "cycle" span
 
 
 @dataclass
@@ -176,29 +180,58 @@ class MessagePROPEngine(PROPEngine):
         self._prepared: dict[int, _Prepared] = {}  # participant slot -> lock
         self._cycle_seq = 0
         self._xid_seq = 0
+        self._span_seq = 0
+        #: The (trace_id, parent span) every outgoing message inherits;
+        #: ``None`` outside a traced scope, leaving messages untraced.
+        self._ctx: tuple[int, int] | None = None
+        #: Set by finalize_trace: the run is over, so timer callbacks
+        #: that straggle in during teardown must not start new cycles.
+        self._finalized = False
         for slot in range(overlay.n_slots):
             transport.register(slot, self._on_message)
+
+    # -- causality context -------------------------------------------------
+
+    def _stamp(self, msg: Message) -> Message:
+        """Thread the active span context onto an outgoing message.
+
+        Each stamped message gets a fresh span id; the transport opens
+        its ``msg:<TYPE>`` span at send and closes it at delivery (or
+        drop).  Zero cost when tracing is off: the message passes
+        through untouched with its ``-1`` defaults.
+        """
+        if self._ctx is None:
+            return msg
+        trace, parent = self._ctx
+        self._span_seq += 1
+        return replace(msg, trace_id=trace, span_id=self._span_seq,
+                       parent_id=parent)
 
     # -- sends (counted by legacy category) ------------------------------
 
     def _send_walk(self, msg: Walk) -> None:
         self.counters.walk_messages += 1
-        self.transport.send(msg)
+        self.transport.send(self._stamp(msg))
 
     def _send_collect(self, msg: Message) -> None:
         self.counters.collect_messages += 1
-        self.transport.send(msg)
+        self.transport.send(self._stamp(msg))
 
     def _send_notify(self, msg: Notify) -> None:
         self.counters.notify_messages += 1
-        self.transport.send(msg)
+        self.transport.send(self._stamp(msg))
 
     def _send_control(self, msg: Message) -> None:
-        self.transport.send(msg)
+        self.transport.send(self._stamp(msg))
 
     # -- probe cycle: launch ---------------------------------------------
 
     def _probe_cycle(self, u: int) -> None:
+        if self._finalized:
+            # live-plane teardown: the event loop may still run probe
+            # timers after finalize_trace; a new cycle now would open a
+            # root span nothing will ever close
+            return
         state = self.nodes[u]
         fire = self.sim.now
         if u in self._prepared:
@@ -213,9 +246,16 @@ class MessagePROPEngine(PROPEngine):
         s = state.queue.select()
         self.counters.probes += 1
         self._cycle_seq += 1
+        cyc = _Cycle(cycle=self._cycle_seq, u=u, s=s, fire_time=fire)
         if self.tracer.enabled:
             self.tracer.emit(ProbeEvent, u=u, s=s, cycle=self._cycle_seq)
-        cyc = _Cycle(cycle=self._cycle_seq, u=u, s=s, fire_time=fire)
+            # the cycle's root span: the trace id is the cycle number
+            self._span_seq += 1
+            cyc.trace = self._cycle_seq
+            cyc.root_span = self._span_seq
+            self.tracer.emit(SpanStartEvent, trace=cyc.trace, span=cyc.root_span,
+                             parent=-1, name="cycle", node=u)
+            self._ctx = (cyc.trace, cyc.root_span)
         self._cycles[u] = cyc
         cyc.timeout = self.sim.schedule(
             self.net.reply_timeout, self._walk_timeout, u, cyc.cycle
@@ -230,25 +270,43 @@ class MessagePROPEngine(PROPEngine):
             self._send_walk(
                 Walk(src=u, dst=s, origin=u, ttl=cfg.nhops - 1, cycle=cyc.cycle, path=(u,))
             )
+        self._ctx = None
 
     # -- message dispatch -------------------------------------------------
 
     def _on_message(self, msg: Message) -> None:
-        if isinstance(msg, Walk):
-            self._on_walk(msg)
-        elif isinstance(msg, VarReply):
-            self._on_var_reply(msg)
-        elif isinstance(msg, ExchangePrepare):
-            self._on_prepare(msg)
-        elif isinstance(msg, ExchangeCommit):
-            self._on_commit(msg)
-        elif isinstance(msg, ExchangeAbort):
-            self._on_abort(msg)
-        elif isinstance(msg, Notify):
-            self._on_notify(msg)
-        # VarProbe: measurement ping, absorbed (the reply is modelled as
-        # free — §4.3 counts one message per collected latency)
-        # reprolint: D4-absorbed: VarProbe
+        proc_span = -1
+        if (self.tracer.enabled and msg.trace_id >= 0
+                and not isinstance(msg, VarProbe)):
+            # the receive-side handler span; everything the handler sends
+            # is causally its child
+            self._span_seq += 1
+            proc_span = self._span_seq
+            self.tracer.emit(SpanStartEvent, trace=msg.trace_id, span=proc_span,
+                             parent=msg.span_id,
+                             name=f"proc:{msg.type_name}", node=msg.dst)
+            self._ctx = (msg.trace_id, proc_span)
+        try:
+            if isinstance(msg, Walk):
+                self._on_walk(msg)
+            elif isinstance(msg, VarReply):
+                self._on_var_reply(msg)
+            elif isinstance(msg, ExchangePrepare):
+                self._on_prepare(msg)
+            elif isinstance(msg, ExchangeCommit):
+                self._on_commit(msg)
+            elif isinstance(msg, ExchangeAbort):
+                self._on_abort(msg)
+            elif isinstance(msg, Notify):
+                self._on_notify(msg)
+            # VarProbe: measurement ping, absorbed (the reply is modelled as
+            # free — §4.3 counts one message per collected latency)
+            # reprolint: D4-absorbed: VarProbe
+        finally:
+            if proc_span >= 0:
+                self.tracer.emit(SpanEndEvent, trace=msg.trace_id,
+                                 span=proc_span, status="ok")
+            self._ctx = None
 
     # -- walk forwarding ---------------------------------------------------
 
@@ -519,6 +577,15 @@ class MessagePROPEngine(PROPEngine):
         self.net_counters.walk_timeouts += 1
         if self.tracer.enabled:
             self.tracer.emit(MsgTimeoutEvent, kind="walk", u=u, tag=cycle)
+            if cyc.root_span >= 0:
+                # zero-length marker: the cycle's tail was reply_timeout
+                # back-off, which the critical path bills to the timer
+                self._span_seq += 1
+                self.tracer.emit(SpanStartEvent, trace=cyc.trace,
+                                 span=self._span_seq, parent=cyc.root_span,
+                                 name="timer:walk", node=u)
+                self.tracer.emit(SpanEndEvent, trace=cyc.trace,
+                                 span=self._span_seq, status="ok")
         self._resolve(cyc, success=False)
 
     def _vote_timeout(self, u: int, xid: int) -> None:
@@ -530,7 +597,19 @@ class MessagePROPEngine(PROPEngine):
             self.net_counters.prepare_retries += 1
             if self.tracer.enabled:
                 self.tracer.emit(MsgTimeoutEvent, kind="vote-retry", u=u, tag=xid)
+                if cyc.root_span >= 0:
+                    # a zero-length marker span: the resent PREPARE hangs
+                    # off it, so the critical path attributes the silent
+                    # vote_timeout wait before it to the timer
+                    self._span_seq += 1
+                    self.tracer.emit(SpanStartEvent, trace=cyc.trace,
+                                     span=self._span_seq, parent=cyc.root_span,
+                                     name="timer:vote-retry", node=u)
+                    self.tracer.emit(SpanEndEvent, trace=cyc.trace,
+                                     span=self._span_seq, status="ok")
+                    self._ctx = (cyc.trace, self._span_seq)
             self._send_control(self._prepare_message(cyc))
+            self._ctx = None
             cyc.timeout = self.sim.schedule(
                 self.net.vote_timeout, self._vote_timeout, u, xid
             )
@@ -539,10 +618,19 @@ class MessagePROPEngine(PROPEngine):
         assert cyc.v is not None  # vote-stage invariant (see _prepare_message)
         if self.tracer.enabled:
             self.tracer.emit(ExchangeTimeoutEvent, xid=xid, u=u, v=cyc.v)
+            if cyc.root_span >= 0:
+                self._span_seq += 1
+                self.tracer.emit(SpanStartEvent, trace=cyc.trace,
+                                 span=self._span_seq, parent=cyc.root_span,
+                                 name="timer:vote", node=u)
+                self.tracer.emit(SpanEndEvent, trace=cyc.trace,
+                                 span=self._span_seq, status="ok")
+                self._ctx = (cyc.trace, self._span_seq)
         # best-effort release of a possibly-prepared participant
         self._send_control(
             ExchangeAbort(src=u, dst=cyc.v, xid=xid, reason="timeout")
         )
+        self._ctx = None
         self._resolve(cyc, success=False)
 
     def _prepared_timeout(self, v: int, xid: int) -> None:
@@ -561,6 +649,9 @@ class MessagePROPEngine(PROPEngine):
         if cyc.timeout is not None:
             cyc.timeout.cancel()
         self._cycles.pop(cyc.u, None)
+        if cyc.root_span >= 0 and self.tracer.enabled:
+            self.tracer.emit(SpanEndEvent, trace=cyc.trace, span=cyc.root_span,
+                             status="ok" if success else "fail")
         if cyc.var is not None:
             self.counters.var_history.append(cyc.var)
         self._finish_cycle(cyc.u, cyc.fire_time, s=cyc.s, success=success)
@@ -597,14 +688,27 @@ class MessagePROPEngine(PROPEngine):
         A vote-stage cycle whose outcome the simulation never reached
         would otherwise look half-open in the trace; the run ending is
         an abort for accounting purposes (the overlay never mutated).
+
+        Finalization is terminal: in-flight cycles are dropped and
+        their timeouts cancelled, so timer callbacks that straggle in
+        during live-plane teardown can neither start new cycles (orphan
+        roots) nor re-resolve finalized ones (double-closed roots).
         """
+        self._finalized = True
+        cycles = [self._cycles[u] for u in sorted(self._cycles)]
+        self._cycles.clear()
+        for cyc in cycles:
+            if cyc.timeout is not None:
+                cyc.timeout.cancel()
         if not self.tracer.enabled:
             return
-        for u in sorted(self._cycles):
-            cyc = self._cycles[u]
+        for cyc in cycles:
             if cyc.stage == "vote" and cyc.xid is not None and cyc.v is not None:
-                self.tracer.emit(ExchangeAbortEvent, xid=cyc.xid, u=u, v=cyc.v,
-                                 reason="end-of-run")
+                self.tracer.emit(ExchangeAbortEvent, xid=cyc.xid, u=cyc.u,
+                                 v=cyc.v, reason="end-of-run")
+            if cyc.root_span >= 0:
+                self.tracer.emit(SpanEndEvent, trace=cyc.trace,
+                                 span=cyc.root_span, status="end-of-run")
 
     def reset_slot(self, slot: int) -> None:
         """Churn replacement: drop in-flight message state, then restart."""
@@ -615,6 +719,9 @@ class MessagePROPEngine(PROPEngine):
                 and cyc.xid is not None and cyc.v is not None):
             self.tracer.emit(ExchangeAbortEvent, xid=cyc.xid, u=slot, v=cyc.v,
                              reason="churn")
+        if cyc is not None and cyc.root_span >= 0 and self.tracer.enabled:
+            self.tracer.emit(SpanEndEvent, trace=cyc.trace, span=cyc.root_span,
+                             status="churn")
         prep = self._prepared.pop(slot, None)
         if prep is not None and prep.timeout is not None:
             prep.timeout.cancel()

@@ -32,7 +32,12 @@ import numpy as np
 from repro.net.messages import Message
 from repro.net.transport import Handler, Transport, TransportStats, trace_tag
 from repro.netsim.engine import Simulator
-from repro.obs.events import MsgDropEvent, MsgSendEvent
+from repro.obs.events import (
+    MsgDropEvent,
+    MsgSendEvent,
+    SpanEndEvent,
+    SpanStartEvent,
+)
 from repro.obs.trace import NULL_TRACER, TracerLike
 
 __all__ = ["FaultyTransport", "PartitionSpec"]
@@ -147,6 +152,15 @@ class FaultyTransport:
                         dst=msg.dst, tag=tag)
             tracer.emit(MsgDropEvent, mtype=msg.type_name, src=msg.src,
                         dst=msg.dst, tag=tag, reason=reason)
+            if msg.span_id >= 0:
+                # the injected drop is observable: a zero-length message
+                # span closed with status "drop" (real UDP loss, by
+                # contrast, leaves the span half-open)
+                tracer.emit(SpanStartEvent, trace=msg.trace_id,
+                            span=msg.span_id, parent=msg.parent_id,
+                            name=f"msg:{msg.type_name}", node=msg.src)
+                tracer.emit(SpanEndEvent, trace=msg.trace_id,
+                            span=msg.span_id, status="drop")
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,7 @@ field and per element of each slot list it carries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import ClassVar
 
 __all__ = [
@@ -44,14 +44,28 @@ class Message:
     src: int
     dst: int
 
+    #: Causality context (docs/observability.md, "Causal spans").  Every
+    #: message carries the trace it belongs to, its own span id, and the
+    #: span that caused it; ``-1`` means untraced.  Keyword-only so the
+    #: defaults do not interleave with subclass payload fields.
+    trace_id: int = field(default=-1, kw_only=True)
+    span_id: int = field(default=-1, kw_only=True)
+    parent_id: int = field(default=-1, kw_only=True)
+
     #: Wire-grammar tag; subclasses override.
     type_name: ClassVar[str] = "MESSAGE"
 
     def size_bytes(self) -> int:
-        """Estimated wire size: header + 4 bytes per integer payload."""
+        """Estimated wire size: header + 4 bytes per integer payload.
+
+        The span-context ids ride the header alongside src/dst (the
+        paper's byte accounting in §4.3 predates tracing, so the
+        telemetry size model keeps them out of the payload count; the
+        real codec does charge for them — see ``encoded_size``).
+        """
         size = HEADER_BYTES
         for f in fields(self):
-            if f.name in ("src", "dst"):
+            if f.name in ("src", "dst", "trace_id", "span_id", "parent_id"):
                 continue  # addressed in the header
             value = getattr(self, f.name)
             if isinstance(value, bool):

@@ -29,7 +29,12 @@ from typing import Callable, Protocol
 
 from repro.net.messages import Message
 from repro.netsim.engine import Simulator
-from repro.obs.events import MsgDeliverEvent, MsgSendEvent
+from repro.obs.events import (
+    MsgDeliverEvent,
+    MsgSendEvent,
+    SpanEndEvent,
+    SpanStartEvent,
+)
 from repro.obs.trace import NULL_TRACER, TracerLike
 from repro.overlay.base import Overlay
 
@@ -169,6 +174,11 @@ class SimTransport:
         if self.tracer.enabled:
             self.tracer.emit(MsgSendEvent, mtype=msg.type_name, src=msg.src,
                              dst=msg.dst, tag=trace_tag(msg))
+            if msg.span_id >= 0:
+                # the in-flight span: open at send, closed at delivery
+                self.tracer.emit(SpanStartEvent, trace=msg.trace_id,
+                                 span=msg.span_id, parent=msg.parent_id,
+                                 name=f"msg:{msg.type_name}", node=msg.src)
         latency_ms = self.overlay.latency(msg.src, msg.dst) * self.latency_scale
         self.sim.schedule((latency_ms + extra_delay_ms) * _MS, self._deliver, msg)
 
@@ -180,5 +190,11 @@ class SimTransport:
         handler = self._handlers.get(msg.dst)
         if handler is not None:
             handler(msg)
+        # the message span closes after the handler consumed it, so the
+        # handler's own proc span is on the books before a span-tree
+        # assembler can see this trace's open-span count reach zero
+        if self.tracer.enabled and msg.span_id >= 0:
+            self.tracer.emit(SpanEndEvent, trace=msg.trace_id,
+                             span=msg.span_id, status="ok")
         if self.tap is not None:
             self.tap(msg)

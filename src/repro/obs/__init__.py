@@ -12,9 +12,12 @@ Five layers, each usable alone:
 * :mod:`repro.obs.registry` — the unified :class:`MetricsRegistry`
   that absorbs the legacy ProtocolCounters / NetCounters /
   TransportStats surfaces into one namespace;
-* :mod:`repro.obs.report` / :mod:`repro.obs.analyze` — per-run
-  :class:`RunReport` artifacts and the ``python -m repro.obs`` trace
-  analyzer;
+* :mod:`repro.obs.report` / :mod:`repro.obs.analyze` /
+  :mod:`repro.obs.spans` — per-run :class:`RunReport` artifacts and the
+  ``python -m repro.obs`` trace analyzers (2PC timelines, causal span
+  trees, critical paths);
+* :mod:`repro.obs.telemetry` — the live deployment plane's periodic
+  JSONL snapshot exporter;
 * :mod:`repro.obs.bench_history` — append-only benchmark history and
   the ``bench-check`` regression gate.
 
@@ -53,6 +56,8 @@ from repro.obs.events import (
     MsgSendEvent,
     MsgTimeoutEvent,
     ProbeEvent,
+    SpanEndEvent,
+    SpanStartEvent,
     VarCollectEvent,
     event_from_dict,
     event_to_dict,
@@ -86,6 +91,7 @@ from repro.obs.registry import (
     absorb_protocol_counters,
     absorb_transport_stats,
     net_summary_rows,
+    percentile_from_buckets,
     registry_from_result,
 )
 from repro.obs.report import (
@@ -99,6 +105,25 @@ from repro.obs.report import (
     render_markdown,
     save_report,
 )
+from repro.obs.spans import (
+    CriticalSegment,
+    Span,
+    SpanAnalysis,
+    SpanAssembler,
+    SpanTree,
+    analysis_to_dict,
+    assemble_spans,
+    critical_path,
+    dump_analysis,
+    path_totals,
+    render_critical_paths,
+    render_span_trees,
+)
+from repro.obs.telemetry import (
+    TelemetryExporter,
+    TelemetrySnapshot,
+    load_telemetry,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -109,17 +134,13 @@ from repro.obs.trace import (
 )
 
 __all__ = [
-    "EVENT_TYPES",
-    "HISTORY_SCHEMA",
-    "NET_TABLE_COLUMNS",
-    "NULL_TRACER",
-    "REPORT_SCHEMA",
-    "VAR_BUCKETS",
     "CheckResult",
     "ChurnJoin",
     "ChurnLeave",
     "ConvergenceMonitor",
     "Counter",
+    "CriticalSegment",
+    "EVENT_TYPES",
     "Event",
     "ExchangeAbortEvent",
     "ExchangeCommitEvent",
@@ -128,6 +149,7 @@ __all__ = [
     "ExchangeTimeline",
     "ExchangeTimeoutEvent",
     "Gauge",
+    "HISTORY_SCHEMA",
     "HistStat",
     "Histogram",
     "MeanStat",
@@ -137,14 +159,26 @@ __all__ = [
     "MsgDropEvent",
     "MsgSendEvent",
     "MsgTimeoutEvent",
+    "NET_TABLE_COLUMNS",
+    "NULL_TRACER",
     "NullTracer",
     "ProbeEvent",
+    "REPORT_SCHEMA",
     "RunReport",
+    "Span",
+    "SpanAnalysis",
+    "SpanAssembler",
+    "SpanEndEvent",
+    "SpanStartEvent",
+    "SpanTree",
+    "TelemetryExporter",
+    "TelemetrySnapshot",
     "ThrashDetector",
     "TraceAnalysis",
     "TraceConsumer",
     "Tracer",
     "TracerLike",
+    "VAR_BUCKETS",
     "VarCollectEvent",
     "Window",
     "WindowedCounts",
@@ -153,13 +187,17 @@ __all__ = [
     "absorb_net_counters",
     "absorb_protocol_counters",
     "absorb_transport_stats",
+    "analysis_to_dict",
     "append_record",
+    "assemble_spans",
     "build_replicate_report",
     "build_run_report",
     "check_history",
     "config_fingerprint",
+    "critical_path",
     "current_git_rev",
     "diff_reports",
+    "dump_analysis",
     "event_from_dict",
     "event_to_dict",
     "events_from_jsonl",
@@ -168,12 +206,17 @@ __all__ = [
     "history_record",
     "load_history",
     "load_report",
+    "load_telemetry",
     "load_trace",
     "net_summary_rows",
+    "path_totals",
+    "percentile_from_buckets",
     "reconstruct_timelines",
     "registry_from_result",
     "render_check",
+    "render_critical_paths",
     "render_markdown",
+    "render_span_trees",
     "render_timelines",
     "replay",
     "save_report",

@@ -5,6 +5,11 @@ Subcommands:
 * ``timeline TRACE.jsonl`` — reconstruct the two-phase exchange
   timelines from a trace, flagging half-open exchanges and late
   replies.  Exits non-zero when the exactly-once invariant is broken.
+* ``spans TRACE.jsonl`` — reassemble the causal span trees (one per
+  probe cycle), flagging orphan roots and instrumentation bugs with
+  the same exit-code discipline; ``--json-out`` writes the summary.
+* ``critpath TRACE.jsonl`` — per-cycle critical-path decomposition:
+  transit vs. process vs. timer back-off vs. wait, attributed per hop.
 * ``diff A.json B.json`` — metric-by-metric comparison of two run
   reports.
 * ``render REPORT.json [-o OUT.md]`` — render a run report to
@@ -32,11 +37,35 @@ from repro.obs.bench_history import (
     render_check,
 )
 from repro.obs.report import diff_reports, load_report, render_markdown
+from repro.obs.spans import (
+    assemble_spans,
+    dump_analysis,
+    render_critical_paths,
+    render_span_trees,
+)
 
 
 def _cmd_timeline(args: argparse.Namespace) -> int:
     analysis = reconstruct_timelines(load_trace(args.trace))
     print(render_timelines(analysis, limit=args.limit))
+    return 0 if analysis.clean else 1
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    analysis = assemble_spans(load_trace(args.trace))
+    print(render_span_trees(analysis, limit=args.limit))
+    if args.json_out is not None:
+        dump_analysis(analysis, args.json_out)
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    return 0 if analysis.clean else 1
+
+
+def _cmd_critpath(args: argparse.Namespace) -> int:
+    analysis = assemble_spans(load_trace(args.trace))
+    print(render_critical_paths(analysis, limit=args.limit))
+    if args.json_out is not None:
+        dump_analysis(analysis, args.json_out)
+        print(f"wrote {args.json_out}", file=sys.stderr)
     return 0 if analysis.clean else 1
 
 
@@ -89,6 +118,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="max timelines to print (default 40; -1 for all)",
     )
     p_timeline.set_defaults(func=_cmd_timeline)
+
+    p_spans = sub.add_parser(
+        "spans", help="reassemble causal span trees from a trace"
+    )
+    p_spans.add_argument("trace", help="JSONL trace file (from --trace)")
+    p_spans.add_argument(
+        "--limit", type=int, default=10,
+        help="max trees to print (default 10; -1 for all)",
+    )
+    p_spans.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="also write the JSON analysis summary to PATH",
+    )
+    p_spans.set_defaults(func=_cmd_spans)
+
+    p_crit = sub.add_parser(
+        "critpath", help="critical-path decomposition per probe cycle"
+    )
+    p_crit.add_argument("trace", help="JSONL trace file (from --trace)")
+    p_crit.add_argument(
+        "--limit", type=int, default=10,
+        help="max paths to print (default 10; -1 for all)",
+    )
+    p_crit.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="also write the JSON analysis summary to PATH",
+    )
+    p_crit.set_defaults(func=_cmd_critpath)
 
     p_diff = sub.add_parser("diff", help="diff two run reports")
     p_diff.add_argument("a", help="baseline report JSON")

@@ -21,6 +21,11 @@ Three event families:
   message events to protocol events.
 * **membership** — ``CHURN_LEAVE`` / ``CHURN_JOIN`` around each slot
   replacement.
+* **causality** — ``SPAN_START`` / ``SPAN_END`` bracket one unit of
+  causally attributed work (a probe cycle, one message in flight, a
+  handler invocation, a timer wait).  ``trace``/``span``/``parent`` are
+  the ids the wire context carries; :mod:`repro.obs.spans` reassembles
+  them into trees.
 
 Inline engines (no 2PC) emit commits with ``xid = -1``; the analyzer
 treats those as instantaneous exchanges with no prepare to match.
@@ -46,6 +51,8 @@ __all__ = [
     "MsgSendEvent",
     "MsgTimeoutEvent",
     "ProbeEvent",
+    "SpanEndEvent",
+    "SpanStartEvent",
     "VarCollectEvent",
     "event_from_dict",
     "event_to_dict",
@@ -191,6 +198,39 @@ class MsgTimeoutEvent(Event):
     etype: ClassVar[str] = "MSG_TIMEOUT"
 
 
+# -- causality ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpanStartEvent(Event):
+    """Span ``span`` of trace ``trace`` opened at node ``node``.
+
+    ``parent`` is the causing span (``-1`` for a root); ``name``
+    categorizes the work: ``cycle`` (a probe cycle root),
+    ``msg:<TYPE>`` (one message in flight), ``proc:<TYPE>`` (the
+    receive-side handler), or ``timer:<kind>`` (a timeout wait)."""
+
+    trace: int
+    span: int
+    parent: int
+    name: str
+    node: int
+
+    etype: ClassVar[str] = "SPAN_START"
+
+
+@dataclass(frozen=True)
+class SpanEndEvent(Event):
+    """Span ``span`` of trace ``trace`` closed with ``status``
+    (``ok``, ``drop``, ``fail``, ``churn``, or ``end-of-run``)."""
+
+    trace: int
+    span: int
+    status: str
+
+    etype: ClassVar[str] = "SPAN_END"
+
+
 # -- membership -----------------------------------------------------------
 
 
@@ -228,6 +268,8 @@ EVENT_TYPES: dict[str, type[Event]] = {
         MsgDeliverEvent,
         MsgDropEvent,
         MsgTimeoutEvent,
+        SpanStartEvent,
+        SpanEndEvent,
         ChurnLeave,
         ChurnJoin,
     )

@@ -30,11 +30,45 @@ __all__ = [
     "absorb_protocol_counters",
     "absorb_transport_stats",
     "net_summary_rows",
+    "percentile_from_buckets",
     "registry_from_result",
 ]
 
 #: Fixed bucket edges for Var histograms (ms of latency-sum improvement).
 VAR_BUCKETS: tuple[float, ...] = (0.0, 10.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
+
+
+def percentile_from_buckets(
+    edges: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Estimate the ``q``-th percentile (0..100) of a bucketed sample.
+
+    Standard fixed-bucket estimation (the histogram keeps no raw
+    values): find the bucket holding the target rank and interpolate
+    linearly between its edges.  The estimate is clamped to the finite
+    edge range — the underflow bucket reports the first edge, the
+    overflow bucket the last — so it is exact only up to the bucket
+    resolution, which is the price of O(buckets) memory.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q / 100.0 * total
+    cum = 0.0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        if cum + c >= target:
+            if i == 0:
+                return float(edges[0])
+            if i == len(edges):
+                return float(edges[-1])
+            lo, hi = float(edges[i - 1]), float(edges[i])
+            return lo + (hi - lo) * (target - cum) / c
+        cum += c
+    return float(edges[-1])
 
 
 @dataclass
@@ -92,6 +126,10 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated percentile estimate (``q`` in 0..100)."""
+        return percentile_from_buckets(self.edges, self.counts, q)
 
 
 class MetricsRegistry:
@@ -243,10 +281,21 @@ def net_summary_rows(registry: MetricsRegistry) -> list[list[Any]]:
 
 
 def _as_flat_items(snapshot: Mapping[str, Any]) -> Iterable[tuple[str, float]]:
-    """Scalar view of a snapshot (histograms flattened to count/sum)."""
+    """Scalar view of a snapshot.
+
+    Histograms flatten to count/sum plus the p50/p95/p99 estimates
+    recomputed from their buckets — that is how reports (render, diff,
+    replicate aggregation) export tail percentiles without widening the
+    snapshot wire format.
+    """
     for name, value in snapshot.items():
         if isinstance(value, dict):
             yield f"{name}.count", float(value.get("count", 0))
             yield f"{name}.sum", float(value.get("sum", 0.0))
+            edges, counts = value.get("edges"), value.get("counts")
+            if edges and counts:
+                for q in (50, 95, 99):
+                    yield (f"{name}.p{q}",
+                           percentile_from_buckets(edges, counts, float(q)))
         else:
             yield name, float(value)

@@ -232,11 +232,35 @@ def render_markdown(report: RunReport) -> str:
 # -- diffing --------------------------------------------------------------
 
 
+def _diff_rows(a: Mapping[str, float], b: Mapping[str, float],
+               *, prefix: str = "") -> list[str]:
+    """Rows for every key differing between two scalar mappings.
+
+    A key present in only one run still shows its *value* — a metric
+    appearing or vanishing between runs (a new drop reason, a counter
+    that never fired) is exactly the kind of change a diff exists to
+    surface, so "a only" alone would hide the interesting number.
+    """
+    rows: list[str] = []
+    for name in sorted(set(a) | set(b)):
+        va, vb = a.get(name), b.get(name)
+        label = f"{prefix}{name}"
+        if va is None:
+            rows.append(f"{label:<40} {'-':>14} {vb:>14.3f} {'(b only)':>14}")
+        elif vb is None:
+            rows.append(f"{label:<40} {va:>14.3f} {'-':>14} {'(a only)':>14}")
+        elif va != vb:
+            rows.append(f"{label:<40} {va:>14.3f} {vb:>14.3f} {vb - va:>+14.3f}")
+    return rows
+
+
 def diff_reports(a: RunReport, b: RunReport) -> str:
     """Metric-by-metric comparison of two runs (text table).
 
     Flags config-fingerprint mismatches (the runs are not the same
-    world) and reports every scalar metric present in either report.
+    world) and reports every scalar metric, headline sample and trace
+    event count present in either report; one-sided entries keep their
+    value and are marked ``(a only)`` / ``(b only)``.
     """
     lines: list[str] = []
     if a.fingerprint != b.fingerprint:
@@ -246,19 +270,11 @@ def diff_reports(a: RunReport, b: RunReport) -> str:
         )
     if a.seed != b.seed:
         lines.append(f"seeds differ: {a.seed} vs {b.seed}")
-    flat_a = dict(_as_flat_items(a.metrics))
-    flat_b = dict(_as_flat_items(b.metrics))
     header = f"{'metric':<40} {'a':>14} {'b':>14} {'delta':>14}"
     lines += [header, "-" * len(header)]
-    for name in sorted(set(flat_a) | set(flat_b)):
-        va, vb = flat_a.get(name), flat_b.get(name)
-        if va is None or vb is None:
-            present = "a only" if vb is None else "b only"
-            lines.append(f"{name:<40} {present:>44}")
-            continue
-        if va == vb:
-            continue
-        lines.append(f"{name:<40} {va:>14.3f} {vb:>14.3f} {vb - va:>+14.3f}")
+    lines += _diff_rows(dict(_as_flat_items(a.metrics)),
+                        dict(_as_flat_items(b.metrics)))
+    lines += _diff_rows(a.samples, b.samples, prefix="samples.")
     counts = sorted(set(a.event_counts) | set(b.event_counts))
     for name in counts:
         ca, cb = a.event_counts.get(name, 0), b.event_counts.get(name, 0)

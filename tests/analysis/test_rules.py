@@ -95,8 +95,8 @@ class TestDispatchMutation:
     copy of the real engine makes D4 fire."""
 
     ARM = (
-        "        elif isinstance(msg, ExchangeCommit):\n"
-        "            self._on_commit(msg)\n"
+        "            elif isinstance(msg, ExchangeCommit):\n"
+        "                self._on_commit(msg)\n"
     )
 
     def test_deleting_a_dispatch_arm_breaks_d4(self, tmp_path):

@@ -24,6 +24,7 @@ import pytest
 from repro.core.config import PROPConfig
 from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.live.transport import udp_loopback_available
+from repro.obs.spans import assemble_spans
 
 pytestmark = pytest.mark.skipif(
     not udp_loopback_available(),
@@ -47,6 +48,7 @@ def _config(transport: str) -> ExperimentConfig:
         sample_interval=DURATION / 2,
         lookups_per_sample=150,
         live_speedup=SPEEDUP,
+        trace=True,  # buffered span events for the structural comparison
     )
 
 
@@ -101,6 +103,29 @@ class TestSimVsRealParity:
         assert sim_ratio < 1.0
         assert live_ratio < 1.0
         assert live_ratio == pytest.approx(sim_ratio, abs=0.15)
+
+    def test_span_trees_structurally_match(self, planes):
+        """The causal span trees tell the same story in both planes:
+        one tree per probe cycle (so root counts land in the probe
+        band) with comparable causal depth — real timing shifts which
+        walks win races, not the shape of a PROP exchange."""
+        sim, live = planes
+        sim_spans = assemble_spans(sim.trace)
+        live_spans = assemble_spans(live.trace)
+        # no orphan roots, no instrumentation bugs on either plane
+        assert sim_spans.clean and live_spans.clean
+        assert sim_spans.trees and live_spans.trees
+        assert len(live_spans.trees) == pytest.approx(
+            len(sim_spans.trees), rel=0.25
+        )
+        def mean_depth(analysis):
+            depths = [t.depth for t in analysis.trees]
+            return sum(depths) / len(depths)
+        assert mean_depth(live_spans) == pytest.approx(
+            mean_depth(sim_spans), rel=0.5
+        )
+        # walks actually chained hops over the real wire
+        assert max(t.depth for t in live_spans.trees) >= 3
 
     def test_message_accounting_consistent(self, planes):
         """Every protocol message the live engine sent went through the

@@ -18,6 +18,8 @@ from repro.obs.events import (
     MsgSendEvent,
     MsgTimeoutEvent,
     ProbeEvent,
+    SpanEndEvent,
+    SpanStartEvent,
     VarCollectEvent,
     event_from_dict,
     event_to_dict,
@@ -38,6 +40,8 @@ EXEMPLARS = [
     MsgDeliverEvent(time=5.0, mtype="VAR_REPLY", src=9, dst=3, tag=2),
     MsgDropEvent(time=5.5, mtype="PREPARE", src=3, dst=9, tag=11, reason="loss"),
     MsgTimeoutEvent(time=6.0, kind="walk", u=3, tag=2),
+    SpanStartEvent(time=6.1, trace=2, span=14, parent=3, name="msg:WALK", node=3),
+    SpanEndEvent(time=6.2, trace=2, span=14, status="ok"),
     ChurnLeave(time=6.5, slot=17, host=42),
     ChurnJoin(time=6.5, slot=17, host=99),
 ]

@@ -1,0 +1,271 @@
+"""Causal span trees: assembly, liveness flags, critical path, CLI.
+
+The synthetic-stream tests pin the assembler's semantics exactly; the
+fixture-backed tests (30%-loss FaultyTransport run, session-scoped)
+assert the span-tree invariants hold under real fault injection; the
+CLI tests pin the exit-code discipline on a synthetically truncated
+trace.
+"""
+
+import json
+
+import pytest
+
+from tests.obs.conftest import LOSSY_TRACED
+from repro.harness.sweep import run_sweep
+from repro.obs.__main__ import main as obs_main
+from repro.obs.events import SpanEndEvent, SpanStartEvent
+from repro.obs.spans import (
+    SpanAssembler,
+    analysis_to_dict,
+    assemble_spans,
+    critical_path,
+    path_totals,
+    render_critical_paths,
+    render_span_trees,
+)
+from repro.obs.trace import write_events_jsonl
+
+
+def _start(t, trace, span, parent, name, node=0):
+    return SpanStartEvent(time=t, trace=trace, span=span, parent=parent,
+                          name=name, node=node)
+
+
+def _end(t, trace, span, status="ok"):
+    return SpanEndEvent(time=t, trace=trace, span=span, status=status)
+
+
+#: One complete probe-cycle-shaped trace: root -> msg -> proc, with the
+#: proc span closing before the msg span (transports close the message
+#: span after the handler ran).
+COMPLETE = [
+    _start(0.0, 1, 1, -1, "cycle", node=3),
+    _start(0.0, 1, 2, 1, "msg:WALK", node=3),
+    _start(0.4, 1, 3, 2, "proc:WALK", node=7),
+    _end(0.4, 1, 3),
+    _end(0.4, 1, 2),
+    _end(1.0, 1, 1, status="ok"),
+]
+
+
+class TestAssembler:
+    def test_complete_tree(self):
+        analysis = assemble_spans(COMPLETE)
+        assert analysis.clean
+        (tree,) = analysis.trees
+        assert tree.complete and tree.n_spans == 3 and tree.depth == 3
+        assert tree.root.name == "cycle" and tree.root.status == "ok"
+        assert analysis.root_status_counts == {"ok": 1}
+
+    def test_child_may_outlive_parent(self):
+        """Causality, not containment: a NOTIFY fan-out keeps running
+        after the cycle root closed; the tree completes only when the
+        last descendant does."""
+        events = [
+            _start(0.0, 1, 1, -1, "cycle"),
+            _start(0.9, 1, 2, 1, "msg:NOTIFY"),
+            _end(1.0, 1, 1),
+        ]
+        assembler = SpanAssembler()
+        for ev in events[:3]:
+            assembler.on_event(ev)
+        assert assembler.open_traces == 1  # root closed, child still open
+        assembler.on_event(_end(1.5, 1, 2))
+        assert assembler.open_traces == 0  # now it sealed
+        assembler.finish(2.0)
+        (tree,) = assembler.result().trees
+        assert tree.complete
+        assert tree.root.children[0].end == 1.5 > tree.root.end
+
+    def test_streaming_mode_keeps_only_counters(self):
+        seen = []
+        assembler = SpanAssembler(keep_trees=False, on_tree=seen.append)
+        for ev in COMPLETE:
+            assembler.on_event(ev)
+        assert assembler.completed == 1 and assembler.open_traces == 0
+        assert len(seen) == 1 and seen[0].complete
+        assembler.finish(2.0)
+        assert assembler.result().trees == []  # nothing buffered
+
+    def test_orphan_root_fails_the_analysis(self):
+        analysis = assemble_spans(COMPLETE[:-1])  # root never closes
+        assert analysis.orphans == [(1, 1)]
+        assert not analysis.clean
+        (tree,) = analysis.trees
+        assert not tree.complete
+
+    def test_half_open_non_root_is_reported_not_failed(self):
+        events = [
+            _start(0.0, 1, 1, -1, "cycle"),
+            _start(0.1, 1, 2, 1, "msg:WALK"),
+            _end(1.0, 1, 1),
+        ]
+        analysis = assemble_spans(events)
+        assert analysis.half_open == [(1, 2)]
+        assert analysis.clean  # real loss / horizon cutoff is not a bug
+        assert not analysis.trees[0].complete
+
+    def test_unmatched_end_and_double_close_are_bugs(self):
+        events = [
+            _start(0.0, 1, 1, -1, "cycle"),
+            _start(0.1, 1, 2, 1, "msg:WALK"),
+            _end(0.4, 1, 2),
+            _end(0.5, 1, 2),  # closed twice while the trace is open
+            _end(1.0, 1, 1),
+            _end(1.2, 9, 99),  # end for a span that never started
+        ]
+        analysis = assemble_spans(events)
+        assert analysis.double_closed == [(1, 2)]
+        assert analysis.unmatched_ends == [(9, 99)]
+        assert not analysis.clean
+
+    def test_unknown_parent_is_detached_but_visible(self):
+        events = [
+            _start(0.0, 1, 1, -1, "cycle"),
+            _start(0.1, 1, 5, 404, "proc:WALK"),  # parent never appears
+            _end(0.2, 1, 5),
+            _end(1.0, 1, 1),
+        ]
+        analysis = assemble_spans(events)
+        assert analysis.detached == [(1, 5)]
+        assert not analysis.clean
+        # the span still renders under the root rather than vanishing
+        assert analysis.trees[0].root.children[0].span == 5
+
+    def test_gauges_track_open_state(self):
+        assembler = SpanAssembler()
+        assembler.on_event(COMPLETE[0])
+        assembler.on_event(COMPLETE[1])
+        assert assembler.open_spans == 2 and assembler.open_traces == 1
+
+    def test_result_before_finish_raises(self):
+        with pytest.raises(RuntimeError, match="finish"):
+            SpanAssembler().result()
+
+
+class TestCriticalPath:
+    def _tree(self):
+        events = [
+            _start(0.0, 1, 1, -1, "cycle", node=0),
+            _start(0.0, 1, 2, 1, "msg:WALK", node=0),
+            _start(4.0, 1, 3, 2, "proc:WALK", node=5),
+            _end(4.0, 1, 3),
+            _end(4.0, 1, 2),
+            _start(7.0, 1, 4, 1, "timer:vote", node=0),
+            _end(7.0, 1, 4),
+            _start(7.0, 1, 5, 4, "msg:EXCHANGE_PREPARE", node=0),
+            _end(9.0, 1, 5),
+            _end(10.0, 1, 1, status="ok"),
+        ]
+        (tree,) = assemble_spans(events).trees
+        return tree
+
+    def test_segments_partition_the_root_window(self):
+        tree = self._tree()
+        segments = critical_path(tree)
+        assert segments[0].start == tree.root.start
+        assert segments[-1].end == tree.root.end
+        for prev, nxt in zip(segments, segments[1:]):
+            assert prev.end == nxt.start  # no gaps, no overlap
+        assert sum(s.duration for s in segments) == pytest.approx(10.0)
+
+    def test_timer_gap_attribution(self):
+        totals = path_totals(critical_path(self._tree()))
+        # the 0..7 gap ends in timer:vote => back-off, not generic wait
+        assert totals["timer"] == pytest.approx(7.0)
+        assert totals["transit"] == pytest.approx(2.0)  # EXCHANGE_PREPARE
+        assert totals["wait"] == pytest.approx(1.0)  # 9..10 at root
+        assert totals["process"] == pytest.approx(0.0)
+
+    def test_open_root_rejected(self):
+        analysis = assemble_spans(COMPLETE[:-1])
+        with pytest.raises(ValueError, match="never closed"):
+            critical_path(analysis.trees[0])
+
+
+class TestRendering:
+    def test_span_tree_render(self):
+        text = render_span_trees(assemble_spans(COMPLETE))
+        assert "1 span trees (1 complete)" in text
+        assert "cycle @n3" in text and "proc:WALK @n7" in text
+
+    def test_critpath_render(self):
+        text = render_critical_paths(assemble_spans(COMPLETE))
+        assert "1 complete trees" in text and "transit" in text
+
+    def test_analysis_dict_shape(self):
+        data = analysis_to_dict(assemble_spans(COMPLETE))
+        assert data["clean"] and data["trees"] == 1 == data["complete"]
+        assert set(data["critical_path_seconds"]) == {
+            "transit", "process", "timer", "wait",
+        }
+
+
+class TestFaultInvariants:
+    """Satellite: span-tree invariants under 30% injected loss."""
+
+    def test_every_root_closes_or_is_flagged_orphan(self, lossy_traced_result):
+        analysis = assemble_spans(lossy_traced_result.trace)
+        assert analysis.trees  # the run actually probed
+        for tree in analysis.trees:
+            closed = tree.root.end is not None
+            flagged = (tree.trace, tree.root.span) in analysis.orphans
+            assert closed or flagged
+        # the engine's finalize_trace closes every in-flight root, so a
+        # faithful trace has no orphans at all — loss notwithstanding
+        assert analysis.orphans == []
+        assert analysis.clean
+
+    def test_injected_drops_close_their_spans(self, lossy_traced_result):
+        analysis = assemble_spans(lossy_traced_result.trace)
+
+        def statuses(span):
+            yield span.status
+            for child in span.children:
+                yield from statuses(child)
+
+        seen = {s for t in analysis.trees for s in statuses(t.root)}
+        assert "drop" in seen  # FaultyTransport losses are observable
+
+
+class TestCliExitCodes:
+    """Satellite: the analyzer CLI on a synthetically truncated trace."""
+
+    def test_clean_trace_exits_zero(self, tmp_path, capsys):
+        path = write_events_jsonl(COMPLETE, tmp_path / "t.jsonl")
+        assert obs_main(["spans", str(path)]) == 0
+        assert obs_main(["critpath", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_truncated_trace_exits_one(self, tmp_path, capsys):
+        # drop the tail of the stream: the root never closes
+        path = write_events_jsonl(COMPLETE[:-1], tmp_path / "t.jsonl")
+        assert obs_main(["spans", str(path)]) == 1
+        assert "ORPHAN" in capsys.readouterr().out
+        assert obs_main(["critpath", str(path)]) == 1
+        capsys.readouterr()
+
+    def test_json_out_artifact(self, tmp_path, capsys):
+        trace = write_events_jsonl(COMPLETE, tmp_path / "t.jsonl")
+        out = tmp_path / "analysis.json"
+        assert obs_main(["spans", str(trace), "--json-out", str(out)]) == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text(encoding="utf-8"))
+        assert data["clean"] and data["orphans"] == 0
+
+
+class TestDeterminism:
+    """Same seed => byte-identical span-tree output, serial vs pooled."""
+
+    def test_serial_and_parallel_span_output_identical(self):
+        config = LOSSY_TRACED.but(duration=300.0, sample_interval=150.0)
+        serial = run_sweep({"run": config}, measure_lookups=False, workers=1)
+        pooled = run_sweep({"run": config}, measure_lookups=False, workers=2)
+        a = assemble_spans(serial["run"].trace)
+        b = assemble_spans(pooled["run"].trace)
+        assert render_span_trees(a, limit=None) == render_span_trees(b, limit=None)
+        assert render_critical_paths(a, limit=None) == render_critical_paths(
+            b, limit=None
+        )
+        assert analysis_to_dict(a) == analysis_to_dict(b)

@@ -1,0 +1,63 @@
+"""Telemetry exporter: canonical JSONL records, lazy file, round trip."""
+
+import json
+
+from repro.obs.telemetry import (
+    TelemetryExporter,
+    TelemetrySnapshot,
+    load_telemetry,
+)
+
+SNAP = TelemetrySnapshot(
+    time=60.25,
+    seq=0,
+    metrics={"prop.probes": 12, "prop.var": {"count": 3, "sum": 90.0}},
+    open_spans=4,
+    open_traces=2,
+    spans_completed=7,
+    wire_bytes_out={1: 512, 0: 256},
+    wire_bytes_in={0: 300},
+)
+
+
+class TestSnapshot:
+    def test_json_line_is_canonical(self):
+        line = SNAP.to_json_line()
+        obj = json.loads(line)
+        assert line == json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+    def test_dict_shape(self):
+        data = SNAP.to_dict()
+        assert data["time"] == 60.25 and data["seq"] == 0
+        assert data["spans"] == {"open": 4, "open_traces": 2, "completed": 7}
+        # peer keys stringify and sort for stable JSON
+        assert list(data["wire_bytes"]["out"]) == ["0", "1"]
+        assert data["metrics"]["prop.probes"] == 12
+
+
+class TestExporter:
+    def test_lazy_creation_and_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "telemetry.jsonl"
+        exporter = TelemetryExporter(path)
+        assert not path.exists()  # nothing written, nothing created
+        exporter.write(SNAP)
+        exporter.write(TelemetrySnapshot(time=120.0, seq=1, metrics={}))
+        exporter.close()
+        assert exporter.written == 2
+        records = load_telemetry(path)
+        assert [r["seq"] for r in records] == [0, 1]
+        assert records[0] == SNAP.to_dict()
+
+    def test_lines_flushed_while_open(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        exporter = TelemetryExporter(path)
+        exporter.write(SNAP)
+        # readable mid-run without close(): the tail -f contract
+        assert len(load_telemetry(path)) == 1
+        exporter.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        exporter = TelemetryExporter(tmp_path / "t.jsonl")
+        exporter.write(SNAP)
+        exporter.close()
+        exporter.close()

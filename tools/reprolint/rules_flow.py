@@ -643,7 +643,18 @@ class CodecGrammarDrift(Rule):
     def _grammar(
         self, mod: ModuleInfo
     ) -> dict[str, tuple[str, list[tuple[str, str, int]]]]:
-        """class name -> (type_name literal, [(field, annotation, line)])."""
+        """class name -> (type_name literal, [(field, annotation, line)]).
+
+        Payload fields include those *inherited* from the base class —
+        ``dataclasses.fields()`` lists base-class fields first, so the
+        runtime fingerprint sees them and the static one must too (the
+        span-context ids on ``Message`` ride every subclass's wire form).
+        """
+        base_fields: list[tuple[str, str, int]] = []
+        for node in mod.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == self.BASE_CLASS:
+                base_fields = self._class_payload_fields(node)
+                break
         out: dict[str, tuple[str, list[tuple[str, str, int]]]] = {}
         for node in mod.tree.body:
             if not isinstance(node, ast.ClassDef):
@@ -655,24 +666,39 @@ class CodecGrammarDrift(Rule):
             if not is_message:
                 continue
             tname: str | None = None
-            fields_: list[tuple[str, str, int]] = []
             for item in node.body:
-                if not (
+                if (
                     isinstance(item, ast.AnnAssign)
                     and isinstance(item.target, ast.Name)
+                    and item.target.id == "type_name"
+                    and isinstance(item.value, ast.Constant)
+                    and isinstance(item.value.value, str)
                 ):
-                    continue
-                ann = ast.unparse(item.annotation)
-                if item.target.id == "type_name":
-                    if isinstance(item.value, ast.Constant) and isinstance(
-                        item.value.value, str
-                    ):
-                        tname = item.value.value
-                elif "ClassVar" not in ann and item.target.id not in ("src", "dst"):
-                    fields_.append((item.target.id, ann, item.lineno))
+                    tname = item.value.value
             if tname is not None:
-                out[node.name] = (tname, fields_)
+                out[node.name] = (
+                    tname,
+                    base_fields + self._class_payload_fields(node),
+                )
         return out
+
+    @staticmethod
+    def _class_payload_fields(node: ast.ClassDef) -> list[tuple[str, str, int]]:
+        """The annotated payload fields declared in one class body."""
+        fields_: list[tuple[str, str, int]] = []
+        for item in node.body:
+            if not (
+                isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+            ):
+                continue
+            ann = ast.unparse(item.annotation)
+            if (
+                item.target.id not in ("src", "dst", "type_name")
+                and "ClassVar" not in ann
+            ):
+                fields_.append((item.target.id, ann, item.lineno))
+        return fields_
 
     @staticmethod
     def _msg_types(mod: ModuleInfo) -> tuple[str, ...]:
