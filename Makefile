@@ -1,6 +1,6 @@
 # Convenience targets for the PROP reproduction.
 
-.PHONY: install test bench bench-obs bench-oracle bench-live bench-check monitor-demo figures examples report lint analyze analyze-baseline all
+.PHONY: install test bench bench-obs bench-oracle bench-live bench-check monitor-demo prof-demo figures examples report lint analyze analyze-baseline all
 
 # ruff (configured in pyproject.toml) when available; offline images
 # fall back to the dependency-free subset checker in tools/lint.py.
@@ -64,6 +64,20 @@ bench-live:
 bench-check:
 	PYTHONPATH=src python -m repro.obs bench-check \
 		$(if $(REPORT_ONLY),--report-only,)
+
+# Kernel cost observatory end to end: a small profiled run over the
+# message plane -> attribution table + kp.json, then the prof
+# subcommand re-renders it and writes validated flamegraph exports
+# (docs/observability.md "Kernel profiling").
+prof-demo:
+	mkdir -p benchmarks/output
+	PYTHONPATH=src python -m repro run --preset ts-small --n 100 --policy G \
+		--transport sim --duration 600 --sample-interval 300 --lookups 50 \
+		--kernel-profile benchmarks/output/kernel_profile.json
+	PYTHONPATH=src python -m repro.obs prof benchmarks/output/kernel_profile.json \
+		--collapsed benchmarks/output/kernel_profile.collapsed.txt \
+		--speedscope benchmarks/output/kernel_profile.speedscope.json
+	@echo "wrote benchmarks/output/kernel_profile.speedscope.json"
 
 # 60-second monitored run: live stderr line (phase, sim-time, ETA,
 # latency, exchange tallies) with streaming consumers — no raw trace.

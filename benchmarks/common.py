@@ -22,6 +22,7 @@ __all__ = [
     "FIG7",
     "HISTORY_PATH",
     "add_workers_option",
+    "kernel_profile_enabled",
     "record_history",
     "run_once",
     "workers_from_config",
@@ -60,6 +61,18 @@ FIG7 = dict(
     flood_ttl=7,
     overlay_options={"min_degree": 3, "mean_extra_degree": 3.0},
 )
+
+
+def kernel_profile_enabled() -> bool:
+    """Opt into per-category kernel profiling via ``REPRO_KERNEL_PROFILE``.
+
+    Off by default so the recorded wall-seconds stay comparable with the
+    unprofiled history (the disabled profiler costs one attribute
+    check); set ``REPRO_KERNEL_PROFILE=1`` to also record per-category
+    ``kernel.*`` seconds, letting ``bench-check`` localize a regression
+    to a category instead of a single wall-seconds number.
+    """
+    return os.environ.get("REPRO_KERNEL_PROFILE", "") not in ("", "0", "off")
 
 
 def _history_path() -> Path | None:
@@ -119,9 +132,20 @@ def run_once(benchmark, fn, *, config=None):
     result = benchmark.pedantic(timed, rounds=1, iterations=1)
     seconds = timing.get("seconds")
     if seconds is not None:
+        metrics = {"wall_seconds": round(seconds, 4)}
+        # benches returning an ExperimentResult from a kernel-profiled
+        # config also record per-category seconds, so bench-check can
+        # localize a regression to a category
+        kernel = getattr(result, "kernel_profile", None)
+        if kernel:
+            for category, ns in sorted(kernel.get("categories", {}).items()):
+                metrics[f"kernel.{category}"] = round(ns / 1e9, 4)
+            metrics["kernel.untracked"] = round(
+                kernel.get("untracked_ns", 0) / 1e9, 4
+            )
         record_history(
             getattr(benchmark, "name", "unnamed"),
-            {"wall_seconds": round(seconds, 4)},
+            metrics,
             config=config,
         )
     return result
@@ -153,10 +177,10 @@ def workers_from_config(config) -> int:
 
 
 def paper_config(**overrides) -> ExperimentConfig:
-    merged = {**PAPER, **overrides}
+    merged = {"kernel_profile": kernel_profile_enabled(), **PAPER, **overrides}
     return ExperimentConfig(**merged)
 
 
 def fig7_config(**overrides) -> ExperimentConfig:
-    merged = {**FIG7, **overrides}
+    merged = {"kernel_profile": kernel_profile_enabled(), **FIG7, **overrides}
     return ExperimentConfig(**merged)

@@ -121,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "phase breakdown) to this JSON file")
     obs.add_argument("--profile", action="store_true",
                      help="profile wall-clock time per harness stage")
+    obs.add_argument("--kernel-profile", type=str, default=None, metavar="PATH",
+                     help="attribute kernel wall-clock to event categories "
+                          "and write the profile JSON here (inspect with "
+                          "'python -m repro.obs prof PATH')")
     obs.add_argument("--monitor", action="store_true",
                      help="live stderr progress line (phase, sim-time, ETA, "
                           "latency, exchange tallies); without --trace/--report "
@@ -203,6 +207,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
             and args.trace is None
             and args.report is None
         ),
+        kernel_profile=getattr(args, "kernel_profile", None) is not None,
     )
 
 
@@ -248,6 +253,10 @@ def _cmd_run_replicated(args: argparse.Namespace, config: ExperimentConfig,
         raise SystemExit("error: --save stores a single result; drop --seeds")
     if args.trace:
         raise SystemExit("error: --trace records a single run; drop --seeds")
+    if args.kernel_profile:
+        raise SystemExit(
+            "error: --kernel-profile records a single run; drop --seeds"
+        )
     print(
         f"replicating {config.overlay_kind} n={config.n_overlay} on {config.preset} "
         f"with optimizer={label} over {len(seeds)} seeds "
@@ -320,22 +329,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         consumers = None
         sample_hook = None
         if args.monitor:
-            import time as _time
-
             from repro.harness.experiment import monitor_consumers
             from repro.obs.monitor import format_status
+            from repro.obs.prof import wall_monotonic
 
             if not config.trace_streaming:
                 # buffered tracing active (--trace/--report): attach the
                 # monitor consumers alongside the raw event buffer
                 consumers = monitor_consumers(config)
-            wall_start = _time.monotonic()
+            wall_start = wall_monotonic()
 
             def sample_hook(t: float, status) -> None:
                 eta = None
                 if t > 0:
-                    # wall-clock ETA, CLI-side only
-                    elapsed = _time.monotonic() - wall_start
+                    # wall-clock ETA, CLI-side only; read through the
+                    # profiling plane's sanctioned helper (reprolint D1)
+                    elapsed = wall_monotonic() - wall_start
                     eta = elapsed * (config.duration - t) / t
                 if status is not None:
                     print(format_status(status, eta_seconds=eta), file=sys.stderr)
@@ -386,6 +395,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 for name, seconds in sorted(result.profile.items())]
         print()
         print(format_table(["stage", "wall seconds"], rows))
+    if args.kernel_profile and result.kernel_profile is not None:
+        from repro.obs.prof import KernelProfile
+
+        kprof = KernelProfile.from_dict(result.kernel_profile)
+        print()
+        print(kprof.table(top=10))
+        path = kprof.save(args.kernel_profile)
+        print(f"wrote kernel profile to {path}", file=sys.stderr)
     if args.trace:
         from repro.obs.trace import write_events_jsonl
 

@@ -116,6 +116,7 @@ class ExperimentConfig:
     trace: bool = False  # buffer structured events (repro.obs)
     trace_streaming: bool = False  # dispatch to consumers, discard raw events
     trace_window: float | None = None  # consumer window width (default: sample_interval)
+    kernel_profile: bool = False  # per-category wall-clock attribution (repro.obs.prof)
     # measurement
     duration: float = 1800.0
     sample_interval: float = 120.0
@@ -158,6 +159,12 @@ class ExperimentConfig:
         if self.transport not in (None, "sim", "udp"):
             raise ValueError(
                 f"transport must be None, 'sim' or 'udp', got {self.transport!r}"
+            )
+        if self.kernel_profile and self.transport == "udp":
+            raise ValueError(
+                "kernel_profile brackets the simulator dispatch loop; the "
+                "live plane has no such loop — use the telemetry snapshots "
+                "(loop lag, per-callback durations) instead"
             )
         if not 0.0 <= self.loss < 1.0:
             raise ValueError(f"loss must be in [0, 1), got {self.loss}")
@@ -263,6 +270,7 @@ class ExperimentResult:
     net_counters: Any = None  # NetCounters (timeouts/retries) likewise
     trace: Any = None  # list[repro.obs.events.Event] when config.trace
     profile: Any = None  # dict[str, float] wall-clock stage timings (opt-in)
+    kernel_profile: Any = None  # KernelProfile.to_dict() when config.kernel_profile
     consumers: Any = None  # list[TraceConsumer] when streaming/monitoring
 
     @property
@@ -601,8 +609,19 @@ def run_experiment(
     def _stage(name: str):
         return profiler.stage(name) if profiler is not None else nullcontext()
 
-    with _stage("build_world"):
+    kprof = None
+    if config.kernel_profile:
+        from repro.obs.prof import KernelProfiler
+
+        kprof = KernelProfiler()
+
+    def _kstage(category: str):
+        return kprof.stage(category) if kprof is not None else nullcontext()
+
+    with _stage("build_world"), _kstage("build"):
         world = build_world(config)
+    if kprof is not None:
+        world.sim.profiler = kprof
     if consumers:
         if world.tracer is None:
             raise ValueError("consumers need config.trace or config.trace_streaming")
@@ -621,7 +640,7 @@ def run_experiment(
     for i, t in enumerate(times):
         with _stage("simulate"):
             world.sim.run_until(float(t))
-        with _stage("sample"):
+        with _stage("sample"), _kstage("sample"):
             link_stretch_series[i] = stretch_metric(world.overlay)
             if measure_lookups:
                 mean_lookup, mean_direct = sample_lookup_latency(world)
@@ -682,6 +701,11 @@ def run_experiment(
             else None
         ),
         profile=dict(profiler.timings) if profiler is not None else None,
+        kernel_profile=(
+            kprof.finish(sim_seconds=float(times[-1])).to_dict()
+            if kprof is not None
+            else None
+        ),
         consumers=(
             list(world.tracer.consumers)
             if world.tracer is not None and world.tracer.consumers

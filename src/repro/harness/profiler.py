@@ -1,51 +1,14 @@
-"""Opt-in wall-clock stage profiler (harness layer only).
+"""Back-compat shim: the stage profiler moved to the profiling plane.
 
-The simulation core is wall-clock-free by design (reprolint D1): sim
-time is the only time protocol code may observe.  Profiling where the
-*real* seconds go — world building vs. event processing vs. metric
-sampling — is a harness concern, so this module lives in ``harness/``
-and is the only sanctioned wall-clock consumer besides
-:mod:`repro.harness.parallel`.
-
-:class:`StageProfiler` accumulates ``perf_counter`` seconds per named
-stage; re-entering a stage adds to its total.  Profiles from parallel
-workers are plain ``dict[str, float]`` and merge with
-:func:`merge_profiles` (stage-wise sums — total CPU seconds spent in
-each stage across the fleet, not wall time of the fleet).
+:class:`StageProfiler` and :func:`merge_profiles` now live in
+:mod:`repro.obs.prof` alongside the kernel profiler (one sanctioned
+wall-clock surface instead of two).  This module keeps the historical
+import path working — harness callers and parallel workers import from
+here unchanged.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Iterable, Iterator, Mapping
+from repro.obs.prof import StageProfiler, merge_profiles
 
 __all__ = ["StageProfiler", "merge_profiles"]
-
-
-class StageProfiler:
-    """Accumulates wall-clock seconds per named stage."""
-
-    def __init__(self) -> None:
-        self.timings: dict[str, float] = {}
-
-    @contextmanager
-    def stage(self, name: str) -> Iterator[None]:
-        """Time the enclosed block, accumulating into ``name``."""
-        started = time.perf_counter()  # reprolint: disable=D1
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - started  # reprolint: disable=D1
-            self.timings[name] = self.timings.get(name, 0.0) + elapsed
-
-
-def merge_profiles(profiles: Iterable[Mapping[str, float] | None]) -> dict[str, float]:
-    """Stage-wise sum of several workers' profiles (``None`` entries skipped)."""
-    merged: dict[str, float] = {}
-    for profile in profiles:
-        if not profile:
-            continue
-        for name, seconds in profile.items():
-            merged[name] = merged.get(name, 0.0) + float(seconds)
-    return dict(sorted(merged.items()))

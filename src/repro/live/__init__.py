@@ -19,6 +19,8 @@ Module map:
   ``speedup`` factor mapping protocol seconds onto wall seconds;
 * :mod:`repro.live.node` — :class:`PeerNode`, one peer's datagram
   endpoint;
+* :mod:`repro.live.lag` — :class:`LoopLagSampler`, the event-loop
+  scheduling-lag probe feeding the telemetry snapshots;
 * :mod:`repro.live.transport` — :class:`UdpTransport`, the
   :class:`~repro.net.transport.Transport` implementation over loopback
   UDP sockets;
@@ -36,6 +38,7 @@ clocks (reprolint rule D1 scopes its no-wall-clock invariant to exclude
 
 from repro.live.clock import LiveScheduler
 from repro.live.codec import CodecError, WIRE_VERSION, decode, encode, encoded_size
+from repro.live.lag import LoopLagSampler
 from repro.live.node import PeerNode
 from repro.live.runner import run_live_experiment
 from repro.live.swarm import ChurnSchedule, Swarm, SwarmReport
@@ -46,6 +49,7 @@ __all__ = [
     "ChurnSchedule",
     "CodecError",
     "LiveScheduler",
+    "LoopLagSampler",
     "PeerNode",
     "Swarm",
     "SwarmReport",

@@ -41,6 +41,7 @@ from repro.harness.experiment import (
     monitor_consumers,
 )
 from repro.live.clock import LiveScheduler
+from repro.live.lag import LoopLagSampler
 from repro.live.traffic import TrafficGenerator, single_lookup
 from repro.live.transport import UdpTransport
 from repro.net.engine import MessagePROPEngine, NetCounters
@@ -217,6 +218,7 @@ class Swarm:
             TelemetryExporter(telemetry) if telemetry is not None else None
         )
         self._span_gauges: SpanAssembler | None = None
+        self._lag: LoopLagSampler | None = None
         self._launched = False
         self._wall_start = 0.0
 
@@ -251,6 +253,11 @@ class Swarm:
         self.transport = await UdpTransport.create(
             scheduler, substrate.overlay.n_slots, tracer=tracer, host=self._host
         )
+        if self._telemetry is not None:
+            # telemetry runs pay for loop-lag sampling and per-callback
+            # timing; un-telemetered swarms keep the untouched hot path
+            self.transport.profile_callbacks = True
+            self._lag = LoopLagSampler(loop)
         assert config.prop is not None  # __init__ invariant
         self.engine = MessagePROPEngine(
             substrate.overlay, config.prop, scheduler, substrate.rngs,
@@ -335,6 +342,8 @@ class Swarm:
                 self.scheduler.schedule_at(t, self._churn_stage, k)
         if self._telemetry is not None:
             self.scheduler.schedule(self.telemetry_interval, self._telemetry_tick)
+        if self._lag is not None:
+            self._lag.start()
 
     def _telemetry_snapshot(self) -> TelemetrySnapshot:
         assert (self.scheduler is not None and self.engine is not None
@@ -353,6 +362,11 @@ class Swarm:
             spans_completed=gauges.completed if gauges is not None else 0,
             wire_bytes_out=dict(self.transport.wire_bytes_out),
             wire_bytes_in=dict(self.transport.wire_bytes_in),
+            loop_lag=self._lag.stats() if self._lag is not None else {},
+            callback_ms={
+                slot: {cat: round(ns / 1e6, 3) for cat, ns in per_slot.items()}
+                for slot, per_slot in self.transport.callback_ns.items()
+            },
         )
 
     def _telemetry_tick(self) -> None:
@@ -392,6 +406,8 @@ class Swarm:
         wall = loop.time() - self._wall_start if self._launched else 0.0
         self.engine.finalize_trace()
         self.transport.close()
+        if self._lag is not None:
+            self._lag.stop()
         if self._telemetry is not None:
             # final snapshot after finalize_trace (in-flight roots are
             # closed end-of-run) but before the tracer flushes the span

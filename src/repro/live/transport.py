@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import asyncio
 import socket
+import time
 
 from repro.live.clock import LiveScheduler
 from repro.live.codec import CodecError, decode, encode
@@ -109,6 +110,12 @@ class UdpTransport:
         #: received by the destination slot.
         self.wire_bytes_out: dict[int, int] = {}
         self.wire_bytes_in: dict[int, int] = {}
+        #: Opt-in handler timing (the swarm enables it with telemetry):
+        #: slot -> message type -> cumulative handler nanoseconds.
+        #: Wall-clock reads are sanctioned here (repro.live is on the D1
+        #: allowlist) and never reach protocol state.
+        self.profile_callbacks = False
+        self.callback_ns: dict[int, dict[str, int]] = {}
         self._handlers: dict[int, Handler] = {}
         self._closed = False
 
@@ -193,12 +200,17 @@ class UdpTransport:
                              dst=msg.dst, tag=trace_tag(msg))
         handler = self._handlers.get(slot)
         if handler is not None:
+            started = time.perf_counter_ns() if self.profile_callbacks else 0
             # counted-never-raised: a handler failure must not unwind into
             # the datagram callback and kill the event loop
             try:
                 handler(msg)
             except Exception:
                 self.handler_errors += 1
+            if self.profile_callbacks:
+                elapsed = time.perf_counter_ns() - started
+                per_slot = self.callback_ns.setdefault(slot, {})
+                per_slot[msg.type_name] = per_slot.get(msg.type_name, 0) + elapsed
         # closed after the handler, mirroring SimTransport: the handler's
         # proc span is on the books before this trace can look complete
         if self.tracer.enabled and msg.span_id >= 0:

@@ -37,7 +37,7 @@ test).  To keep fire times aligned, the next probe is scheduled at
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.core.config import PROPConfig
 from repro.core.exchange import execute_prop_g, execute_prop_o
@@ -200,12 +200,18 @@ class MessagePROPEngine(PROPEngine):
         drop).  Zero cost when tracing is off: the message passes
         through untouched with its ``-1`` defaults.
         """
-        if self._ctx is None:
+        ctx = self._ctx
+        if ctx is None:
             return msg
-        trace, parent = self._ctx
         self._span_seq += 1
-        return replace(msg, trace_id=trace, span_id=self._span_seq,
-                       parent_id=parent)
+        # Every caller hands a message constructed on the same line, so
+        # stamping before it is shared is safe; writing the three fields
+        # directly skips ``dataclasses.replace`` rebuilding the whole
+        # frozen instance on the per-message hot path.
+        object.__setattr__(msg, "trace_id", ctx[0])
+        object.__setattr__(msg, "span_id", self._span_seq)
+        object.__setattr__(msg, "parent_id", ctx[1])
+        return msg
 
     # -- sends (counted by legacy category) ------------------------------
 

@@ -70,6 +70,11 @@ class EventQueue:
         self._heap: list[Event] = []
         self._seq = 0
         self._live = 0
+        #: Cumulative telemetry counters (never reset; the profiling
+        #: plane samples them per window and differences as needed).
+        self.pushes = 0
+        self.pops = 0
+        self.cancels = 0
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) events."""
@@ -78,6 +83,12 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, corpses included (``heap_size - len``
+        is the corpse count)."""
+        return len(self._heap)
+
     def push(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute time ``time``."""
         if time < 0.0:
@@ -85,6 +96,7 @@ class EventQueue:
         ev = Event(time=float(time), seq=self._seq, callback=callback, args=args)
         self._seq += 1
         self._live += 1
+        self.pushes += 1
         heapq.heappush(self._heap, ev)
         return EventHandle(ev, self)
 
@@ -105,6 +117,7 @@ class EventQueue:
             raise IndexError("pop from empty EventQueue")
         ev = heapq.heappop(self._heap)
         self._live -= 1
+        self.pops += 1
         ev.cancelled = True
         return ev
 
@@ -114,6 +127,7 @@ class EventQueue:
 
     def _on_cancel(self) -> None:
         self._live -= 1
+        self.cancels += 1
 
     def _drop_dead(self) -> None:
         heap = self._heap

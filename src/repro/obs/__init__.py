@@ -18,6 +18,11 @@ Five layers, each usable alone:
   trees, critical paths);
 * :mod:`repro.obs.telemetry` — the live deployment plane's periodic
   JSONL snapshot exporter;
+* :mod:`repro.obs.prof` — the kernel profiling plane:
+  :class:`KernelProfiler` attributes wall-clock nanoseconds to a closed
+  category registry at the simulator's dispatch point, exporting
+  attribution tables, collapsed stacks and speedscope JSON (the one
+  obs module sanctioned to read wall clocks);
 * :mod:`repro.obs.bench_history` — append-only benchmark history and
   the ``bench-check`` regression gate.
 
@@ -94,6 +99,19 @@ from repro.obs.registry import (
     percentile_from_buckets,
     registry_from_result,
 )
+from repro.obs.prof import (
+    CATEGORIES,
+    CategoryMismatchError,
+    KernelProfile,
+    KernelProfiler,
+    PROFILE_SCHEMA,
+    ProfileError,
+    StageProfiler,
+    classify_event,
+    diff_table,
+    merge_profiles,
+    validate_speedscope,
+)
 from repro.obs.report import (
     REPORT_SCHEMA,
     RunReport,
@@ -134,6 +152,8 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "CATEGORIES",
+    "CategoryMismatchError",
     "CheckResult",
     "ChurnJoin",
     "ChurnLeave",
@@ -152,6 +172,8 @@ __all__ = [
     "HISTORY_SCHEMA",
     "HistStat",
     "Histogram",
+    "KernelProfile",
+    "KernelProfiler",
     "MeanStat",
     "MetricsRegistry",
     "MonitorStatus",
@@ -162,7 +184,9 @@ __all__ = [
     "NET_TABLE_COLUMNS",
     "NULL_TRACER",
     "NullTracer",
+    "PROFILE_SCHEMA",
     "ProbeEvent",
+    "ProfileError",
     "REPORT_SCHEMA",
     "RunReport",
     "Span",
@@ -171,6 +195,7 @@ __all__ = [
     "SpanEndEvent",
     "SpanStartEvent",
     "SpanTree",
+    "StageProfiler",
     "TelemetryExporter",
     "TelemetrySnapshot",
     "ThrashDetector",
@@ -193,10 +218,12 @@ __all__ = [
     "build_replicate_report",
     "build_run_report",
     "check_history",
+    "classify_event",
     "config_fingerprint",
     "critical_path",
     "current_git_rev",
     "diff_reports",
+    "diff_table",
     "dump_analysis",
     "event_from_dict",
     "event_to_dict",
@@ -208,6 +235,7 @@ __all__ = [
     "load_report",
     "load_telemetry",
     "load_trace",
+    "merge_profiles",
     "net_summary_rows",
     "path_totals",
     "percentile_from_buckets",
@@ -220,5 +248,6 @@ __all__ = [
     "render_timelines",
     "replay",
     "save_report",
+    "validate_speedscope",
     "write_events_jsonl",
 ]

@@ -18,11 +18,18 @@ Subcommands:
   bench in the history file against its trailing median.  Exit codes:
   0 pass, 1 regression, 2 missing/empty history (``--report-only``
   reports regressions but still exits 0, for PR CI).
+* ``prof PROFILE.json`` — render a kernel profile (from ``repro run
+  --kernel-profile``) as a top-N attribution table; ``--collapsed`` /
+  ``--speedscope`` write flamegraph exports.  ``prof diff A.json
+  B.json`` prints the per-category A/B deltas.  Exit codes: 0 ok,
+  1 category mismatch against the closed registry, 2 unreadable or
+  truncated profile.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -102,6 +109,50 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
     return 1 if regressed else 0
 
 
+def _cmd_prof(args: argparse.Namespace) -> int:
+    from repro.obs.prof import (
+        CategoryMismatchError,
+        KernelProfile,
+        ProfileError,
+        diff_table,
+        validate_speedscope,
+    )
+
+    paths = args.paths
+    diff_mode = paths and paths[0] == "diff"
+    if diff_mode:
+        paths = paths[1:]
+        if len(paths) != 2:
+            print("prof diff takes exactly two profile paths", file=sys.stderr)
+            return 2
+    elif len(paths) != 1:
+        print("prof takes one profile path (or 'diff A B')", file=sys.stderr)
+        return 2
+    try:
+        profiles = [KernelProfile.load(p) for p in paths]
+        if diff_mode:
+            print(diff_table(profiles[0], profiles[1]))
+            return 0
+        profile = profiles[0]
+        print(profile.table(top=args.top))
+        if args.collapsed is not None:
+            Path(args.collapsed).write_text(profile.collapsed(), encoding="utf-8")
+            print(f"wrote {args.collapsed}", file=sys.stderr)
+        if args.speedscope is not None:
+            doc = profile.speedscope(name=str(paths[0]))
+            validate_speedscope(doc)
+            Path(args.speedscope).write_text(
+                json.dumps(doc, indent=1) + "\n", encoding="utf-8")
+            print(f"wrote {args.speedscope}", file=sys.stderr)
+    except CategoryMismatchError as exc:
+        print(f"prof: {exc}", file=sys.stderr)
+        return 1
+    except ProfileError as exc:
+        print(f"prof: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -177,6 +228,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the verdict but exit 0 even on regression (PR CI)",
     )
     p_check.set_defaults(func=_cmd_bench_check)
+
+    p_prof = sub.add_parser(
+        "prof", help="render or diff kernel profiles (--kernel-profile output)"
+    )
+    p_prof.add_argument(
+        "paths", nargs="+", metavar="PROFILE",
+        help="profile JSON path, or 'diff' followed by two paths",
+    )
+    p_prof.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the N widest categories (default: all)",
+    )
+    p_prof.add_argument(
+        "--collapsed", default=None, metavar="PATH",
+        help="write collapsed-stack text for flamegraph tooling",
+    )
+    p_prof.add_argument(
+        "--speedscope", default=None, metavar="PATH",
+        help="write a speedscope-compatible JSON profile",
+    )
+    p_prof.set_defaults(func=_cmd_prof)
     return parser
 
 

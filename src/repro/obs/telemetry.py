@@ -34,6 +34,12 @@ class TelemetrySnapshot:
     span gauges come from a streaming
     :class:`~repro.obs.spans.SpanAssembler`; the wire-byte maps from the
     transport's per-peer counters (slot -> bytes).
+
+    ``loop_lag`` is the event-loop scheduling-lag summary from a
+    :class:`~repro.live.lag.LoopLagSampler` (``mean_ms`` / ``max_ms`` /
+    ``samples``); ``callback_ms`` maps peer slot -> message category ->
+    cumulative handler milliseconds.  Both default empty so snapshots
+    from drivers without those surfaces serialize unchanged.
     """
 
     time: float  # protocol seconds
@@ -44,6 +50,8 @@ class TelemetrySnapshot:
     spans_completed: int = 0
     wire_bytes_out: Mapping[int, int] = field(default_factory=dict)
     wire_bytes_in: Mapping[int, int] = field(default_factory=dict)
+    loop_lag: Mapping[str, Any] = field(default_factory=dict)
+    callback_ms: Mapping[int, Mapping[str, float]] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready view (peer keys stringified, stable ordering)."""
@@ -61,6 +69,12 @@ class TelemetrySnapshot:
                         for k in sorted(self.wire_bytes_out)},
                 "in": {str(k): self.wire_bytes_in[k]
                        for k in sorted(self.wire_bytes_in)},
+            },
+            "loop_lag": {k: self.loop_lag[k] for k in sorted(self.loop_lag)},
+            "callbacks": {
+                str(slot): {cat: self.callback_ms[slot][cat]
+                            for cat in sorted(self.callback_ms[slot])}
+                for slot in sorted(self.callback_ms)
             },
         }
 

@@ -142,11 +142,22 @@ class Tracer:
         self.consumers.append(consumer)
 
     def emit(self, event_cls: type[Event], **payload: object) -> None:
+        # Hot path: when streaming with no subscribers the event would
+        # be constructed and immediately discarded, so skip construction
+        # entirely; consumers observe identical sequences either way.
+        consumers = self.consumers
+        if self.streaming:
+            if not consumers:
+                return
+            event = event_cls(time=self._clock(), **payload)  # type: ignore[arg-type]
+            for consumer in consumers:
+                consumer.on_event(event)
+            return
         event = event_cls(time=self._clock(), **payload)  # type: ignore[arg-type]
-        for consumer in self.consumers:
-            consumer.on_event(event)
-        if not self.streaming:
-            self.events.append(event)
+        if consumers:
+            for consumer in consumers:
+                consumer.on_event(event)
+        self.events.append(event)
 
     def close(self, end_time: float | None = None) -> None:
         """Notify consumers the run ended (idempotent).

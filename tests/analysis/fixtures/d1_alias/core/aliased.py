@@ -1,0 +1,21 @@
+"""D1 alias dodge: renamed clock imports must still resolve and flag."""
+
+import time as _time
+from datetime import datetime as dt
+from time import monotonic as mono
+
+
+def sneaky_module_alias() -> float:
+    return _time.monotonic()
+
+
+def sneaky_module_alias_ns() -> int:
+    return _time.perf_counter_ns()
+
+
+def sneaky_class_alias() -> object:
+    return dt.now()
+
+
+def sneaky_name_alias() -> float:
+    return mono()

@@ -1,0 +1,7 @@
+"""The profiling plane is on the wall-clock allowlist, alias or not."""
+
+import time as _time
+
+
+def sanctioned() -> int:
+    return _time.perf_counter_ns()

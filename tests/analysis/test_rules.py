@@ -42,6 +42,23 @@ class TestKnownBadFixtures:
         assert "time.monotonic" in by_path["core"][0]
         assert len(found) == 2
 
+    def test_d1_resolves_import_aliases(self):
+        """`import time as _time` (and friends) cannot dodge the rule:
+        aliases resolve to canonical names before the deny-set lookup,
+        and the allowlist still covers the resolved calls in
+        `repro.obs.prof`."""
+        found = _findings("d1_alias", "D1")
+        by_path = {}
+        for f in found:
+            by_path.setdefault(Path(f.path).parent.name, []).append(f.message)
+        assert "obs" not in by_path  # repro.obs.prof is allowlisted
+        core = " | ".join(by_path["core"])
+        assert "time.monotonic" in core
+        assert "time.perf_counter_ns" in core
+        assert "datetime.datetime.now" in core
+        assert len(by_path["core"]) == 4
+        assert len(found) == 4
+
     def test_d2_flags_cross_stream_draws(self):
         found = _findings("d2_bad", "D2")
         messages = " | ".join(f.message for f in found)

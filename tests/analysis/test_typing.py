@@ -50,7 +50,9 @@ def test_live_and_obs_type_ignore_inventory_is_pinned():
     assert inventory == {
         "live/codec.py": 1,
         "obs/monitor.py": 5,
-        "obs/trace.py": 1,
+        # one per emit branch: the streaming and buffered paths each
+        # construct the event through the same dynamic **payload seam
+        "obs/trace.py": 2,
     }, inventory
 
 

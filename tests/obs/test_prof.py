@@ -1,0 +1,291 @@
+"""The kernel profiling plane: exact partition, closed registry, exports.
+
+The load-bearing acceptance check lives in
+``TestPartitionInvariant.test_attribution_exactly_partitions_wall_time``:
+with profiling on, the per-category nanoseconds plus the explicit
+``untracked`` residual must equal the profiled total *exactly* (integer
+arithmetic, no epsilon).
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import PROPConfig
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.net.messages import MSG_TYPES
+from repro.netsim.engine import Simulator
+from repro.obs.prof import (
+    CATEGORIES,
+    CategoryMismatchError,
+    KernelProfile,
+    KernelProfiler,
+    ProfileError,
+    classify_event,
+    diff_table,
+    validate_speedscope,
+    wall_monotonic,
+    wall_perf_ns,
+)
+from repro.obs.__main__ import main as obs_main
+
+#: Small but real: the message plane over the simulator exercises every
+#: delivery category plus probe/walk/vote timers within a short run.
+PROFILED = ExperimentConfig(
+    preset="ts-small",
+    n_overlay=48,
+    prop=PROPConfig(policy="G", nhops=2),
+    transport="sim",
+    duration=600.0,
+    sample_interval=300.0,
+    lookups_per_sample=10,
+    kernel_profile=True,
+)
+
+
+def _profile(config: ExperimentConfig = PROFILED) -> KernelProfile:
+    result = run_experiment(config)
+    assert result.kernel_profile is not None
+    return KernelProfile.from_dict(result.kernel_profile)
+
+
+class TestPartitionInvariant:
+    def test_attribution_exactly_partitions_wall_time(self):
+        prof = _profile()
+        assert prof.total_ns > 0
+        assert prof.untracked_ns >= 0
+        assert sum(prof.categories.values()) + prof.untracked_ns == prof.total_ns
+
+    def test_profile_covers_dispatch_and_stage_categories(self):
+        prof = _profile()
+        assert prof.events > 0
+        assert prof.categories.get("build", 0) > 0
+        assert prof.categories.get("sample", 0) > 0
+        assert prof.categories.get("timer:probe", 0) > 0
+        assert prof.categories.get("deliver:WALK", 0) > 0
+        assert set(prof.categories) <= set(CATEGORIES)
+
+    def test_heap_telemetry_sampled_per_window(self):
+        prof = _profile()
+        assert prof.heap["pushes"] > 0
+        assert prof.heap["pops"] > 0
+        assert prof.heap["pushes"] >= prof.heap["pops"]
+        assert 0.0 <= prof.heap["final_corpse_ratio"] <= 1.0
+        assert prof.heap["pushes_per_sim_s"] > 0
+        assert prof.windows == 3  # one per run_until sample (0, 300, 600)
+
+    def test_disabled_profiler_leaves_result_field_none(self):
+        result = run_experiment(PROFILED.but(kernel_profile=False))
+        assert result.kernel_profile is None
+
+
+class TestClassification:
+    def test_registry_mirrors_wire_grammar(self):
+        # prof.py mirrors MSG_TYPES instead of importing the engines;
+        # this is the pin that keeps the mirror honest
+        assert tuple(f"deliver:{t}" for t in MSG_TYPES) == tuple(
+            c for c in CATEGORIES if c.startswith("deliver:")
+        )
+
+    def test_timer_callbacks_classified_by_name(self):
+        class Engine:
+            def _probe_cycle(self, u):
+                pass
+
+            def _vote_timeout(self, u, xid):
+                pass
+
+        e = Engine()
+        assert classify_event(e._probe_cycle, (3,)) == "timer:probe"
+        assert classify_event(e._vote_timeout, (3, 7)) == "timer:vote"
+
+    def test_deliveries_classified_by_message_type(self):
+        class Msg:
+            type_name = "WALK"
+
+        class Transport:
+            def _deliver(self, msg):
+                pass
+
+        assert classify_event(Transport()._deliver, (Msg(),)) == "deliver:WALK"
+
+    def test_unknown_callbacks_land_in_event_other(self):
+        assert classify_event(lambda: None, ()) == "event:other"
+        assert classify_event([].append, ("x",)) == "event:other"
+
+    def test_unknown_stage_category_rejected(self):
+        prof = KernelProfiler()
+        with pytest.raises(ValueError, match="unknown profile category"):
+            with prof.stage("not-a-category"):
+                pass
+
+
+class TestQueueCounters:
+    def test_pushes_pops_cancels_track_queue_traffic(self):
+        sim = Simulator()
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h1.cancel()
+        sim.run()
+        q = sim.queue
+        assert q.pushes == 2
+        assert q.pops == 1
+        assert q.cancels == 1
+        assert q.heap_size >= len(q)
+
+
+class TestExports:
+    def test_table_lists_categories_and_total(self):
+        prof = _profile()
+        text = prof.table(top=5)
+        assert "category" in text
+        assert "untracked" in text or "total" in text
+        assert "total" in text
+
+    def test_collapsed_stack_lines(self):
+        prof = _profile()
+        lines = prof.collapsed().strip().splitlines()
+        assert lines[-1].startswith("kernel;untracked ")
+        for line in lines:
+            frame, _, weight = line.rpartition(" ")
+            assert frame.startswith("kernel;")
+            assert int(weight) >= 0
+
+    def test_speedscope_export_validates(self):
+        prof = _profile()
+        doc = prof.speedscope()
+        validate_speedscope(doc)  # must not raise
+        weights = doc["profiles"][0]["weights"]
+        assert sum(weights) == prof.total_ns
+
+    def test_speedscope_validator_rejects_corruption(self):
+        doc = _profile().speedscope()
+        bad = json.loads(json.dumps(doc))
+        bad["profiles"][0]["samples"].append([999])
+        with pytest.raises(ProfileError):
+            validate_speedscope(bad)
+        with pytest.raises(ProfileError):
+            validate_speedscope({"$schema": "nope"})
+
+
+class TestRoundTrip:
+    def test_save_load_round_trips(self, tmp_path):
+        prof = _profile()
+        path = prof.save(tmp_path / "kp.json")
+        loaded = KernelProfile.load(path)
+        assert loaded.total_ns == prof.total_ns
+        assert loaded.categories == prof.categories
+        assert loaded.untracked_ns == prof.untracked_ns
+
+    def test_truncated_json_raises_profile_error(self, tmp_path):
+        path = tmp_path / "trunc.json"
+        path.write_text('{"schema_version": "repro.kernel-prof/1", "tot')
+        with pytest.raises(ProfileError):
+            KernelProfile.load(path)
+
+    def test_unknown_category_raises_mismatch(self):
+        doc = _profile().to_dict()
+        doc["categories"]["deliver:GOSSIP"] = 1
+        with pytest.raises(CategoryMismatchError):
+            KernelProfile.from_dict(doc)
+
+    def test_wrong_schema_raises_profile_error(self):
+        with pytest.raises(ProfileError, match="schema"):
+            KernelProfile.from_dict({"schema_version": "bogus/9"})
+
+
+class TestDiff:
+    def test_diff_table_reports_deltas(self):
+        a = _profile()
+        b = KernelProfile.from_dict(a.to_dict())
+        text = diff_table(a, b)
+        assert "delta" in text
+        assert "total" in text
+
+    def test_diff_rejects_mismatched_category_sets(self):
+        a = _profile()
+        doc = a.to_dict()
+        doc["categories"] = {
+            k: v for k, v in doc["categories"].items() if k != "build"
+        }
+        b = KernelProfile.from_dict(doc)
+        with pytest.raises(CategoryMismatchError, match="only in A"):
+            diff_table(a, b)
+
+
+class TestProfCli:
+    def _saved(self, tmp_path, name="kp.json"):
+        return str(_profile().save(tmp_path / name))
+
+    def test_prof_renders_table(self, tmp_path, capsys):
+        assert obs_main(["prof", self._saved(tmp_path)]) == 0
+        assert "category" in capsys.readouterr().out
+
+    def test_prof_writes_validated_speedscope_and_collapsed(self, tmp_path):
+        path = self._saved(tmp_path)
+        ss = tmp_path / "kp.speedscope.json"
+        col = tmp_path / "kp.collapsed.txt"
+        assert obs_main(
+            ["prof", path, "--speedscope", str(ss), "--collapsed", str(col)]
+        ) == 0
+        validate_speedscope(json.loads(ss.read_text()))
+        assert col.read_text().startswith("kernel;")
+
+    def test_truncated_profile_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "trunc.json"
+        path.write_text('{"schema_version": "repro.kernel-prof/1"')
+        assert obs_main(["prof", str(path)]) == 2
+        assert "prof:" in capsys.readouterr().err
+
+    def test_category_mismatch_exits_one(self, tmp_path, capsys):
+        doc = _profile().to_dict()
+        doc["categories"]["deliver:GOSSIP"] = 5
+        path = tmp_path / "alien.json"
+        path.write_text(json.dumps(doc))
+        assert obs_main(["prof", str(path)]) == 1
+        assert "registry" in capsys.readouterr().err
+
+    def test_diff_of_identical_profiles_exits_zero(self, tmp_path, capsys):
+        path = self._saved(tmp_path)
+        assert obs_main(["prof", "diff", path, path]) == 0
+        assert "delta" in capsys.readouterr().out
+
+    def test_diff_of_mismatched_profiles_exits_one(self, tmp_path, capsys):
+        a = _profile()
+        path_a = str(a.save(tmp_path / "a.json"))
+        doc = a.to_dict()
+        doc["categories"] = {
+            k: v for k, v in doc["categories"].items() if k != "build"
+        }
+        path_b = tmp_path / "b.json"
+        path_b.write_text(json.dumps(doc))
+        assert obs_main(["prof", "diff", path_a, str(path_b)]) == 1
+
+    def test_diff_arity_error_exits_two(self, tmp_path, capsys):
+        path = self._saved(tmp_path)
+        assert obs_main(["prof", "diff", path]) == 2
+
+
+class TestWallClockHelpers:
+    def test_monotonic_is_nondecreasing(self):
+        a = wall_monotonic()
+        b = wall_monotonic()
+        assert b >= a
+
+    def test_perf_ns_is_integer_nanoseconds(self):
+        a = wall_perf_ns()
+        b = wall_perf_ns()
+        assert isinstance(a, int)
+        assert b >= a
+
+
+class TestTraceParity:
+    def test_profiling_leaves_traces_byte_identical(self):
+        """The deterministic-by-exclusion claim: attaching the profiler
+        must not perturb one event of a traced run."""
+        base = PROFILED.but(kernel_profile=False, trace=True)
+        plain = run_experiment(base)
+        profiled = run_experiment(base.but(kernel_profile=True))
+        from repro.obs.events import events_to_jsonl
+
+        assert events_to_jsonl(plain.trace) == events_to_jsonl(profiled.trace)

@@ -16,6 +16,7 @@ from repro.obs.registry import (
     absorb_protocol_counters,
     absorb_transport_stats,
     net_summary_rows,
+    percentile_from_buckets,
     registry_from_result,
 )
 
@@ -173,3 +174,24 @@ class TestMergedTable:
         reg = MetricsRegistry()
         reg.histogram("net.var").observe(1.0)
         assert net_summary_rows(reg) == []
+
+
+class TestPercentileFromBuckets:
+    def test_empty_histogram_reports_zero(self):
+        assert percentile_from_buckets([1.0, 2.0], [0, 0, 0], 50.0) == 0.0
+
+    def test_single_occupied_bucket_interpolates_within_edges(self):
+        edges = [10.0, 20.0]
+        counts = [0, 4, 0]  # all mass in the (10, 20] bucket
+        assert percentile_from_buckets(edges, counts, 0.0) == 10.0
+        assert percentile_from_buckets(edges, counts, 50.0) == 15.0
+        assert percentile_from_buckets(edges, counts, 100.0) == 20.0
+
+    def test_underflow_and_overflow_clamp_to_edge_range(self):
+        edges = [1.0, 2.0]
+        assert percentile_from_buckets(edges, [3, 0, 0], 99.0) == 1.0
+        assert percentile_from_buckets(edges, [0, 0, 3], 1.0) == 2.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError, match="percentile q"):
+            percentile_from_buckets([1.0], [1, 0], 101.0)

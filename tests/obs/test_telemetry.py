@@ -34,6 +34,26 @@ class TestSnapshot:
         assert list(data["wire_bytes"]["out"]) == ["0", "1"]
         assert data["metrics"]["prop.probes"] == 12
 
+    def test_loop_surfaces_default_empty(self):
+        data = SNAP.to_dict()
+        assert data["loop_lag"] == {}
+        assert data["callbacks"] == {}
+
+    def test_loop_lag_and_callbacks_serialize_sorted(self):
+        snap = TelemetrySnapshot(
+            time=30.0,
+            seq=2,
+            metrics={},
+            loop_lag={"samples": 9, "max_ms": 1.5, "mean_ms": 0.2},
+            callback_ms={3: {"WALK": 0.42, "NOTIFY": 0.1}, 1: {"WALK": 0.8}},
+        )
+        data = snap.to_dict()
+        assert list(data["loop_lag"]) == ["max_ms", "mean_ms", "samples"]
+        assert list(data["callbacks"]) == ["1", "3"]
+        assert list(data["callbacks"]["3"]) == ["NOTIFY", "WALK"]
+        # canonical line still round-trips
+        assert json.loads(snap.to_json_line())["callbacks"]["3"]["WALK"] == 0.42
+
 
 class TestExporter:
     def test_lazy_creation_and_round_trip(self, tmp_path):

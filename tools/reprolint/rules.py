@@ -77,11 +77,13 @@ class NoWallClockRandomness(Rule):
 
     #: packages sanctioned to read wall clocks: the live deployment plane
     #: (repro.live) runs protocol timers on real time *by design* — that
-    #: is the whole point of the plane.  The allowlist scopes ONLY the
+    #: is the whole point of the plane — and the profiling plane
+    #: (repro.obs.prof) exists to attribute wall seconds and never feeds
+    #: them back into protocol state.  The allowlist scopes ONLY the
     #: wall-clock half of D1; unseeded randomness stays forbidden in
     #: every package, including these (a live run must still be
     #: seed-reproducible in everything but timing).
-    WALLCLOCK_ALLOW: tuple[str, ...] = ("repro.live",)
+    WALLCLOCK_ALLOW: tuple[str, ...] = ("repro.live", "repro.obs.prof")
 
     _WALLCLOCK = frozenset(
         {
@@ -123,7 +125,29 @@ class NoWallClockRandomness(Rule):
         }
     )
 
+    #: modules whose imports participate in alias resolution: aliasing
+    #: one of these (``import time as _time``) must not dodge the rule.
+    _CLOCK_MODULES = ("time", "datetime")
+
     def check_module(self, mod: ModuleInfo) -> Iterator[Finding]:
+        # First pass: collect import aliases so `import time as _time` /
+        # `from time import monotonic as mono` resolve to the canonical
+        # dotted names the deny-set is keyed by (the alias dodge).
+        module_aliases: dict[str, str] = {}
+        name_aliases: dict[str, str] = {}
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if (
+                        alias.asname
+                        and alias.asname != alias.name
+                        and alias.name.partition(".")[0] in self._CLOCK_MODULES
+                    ):
+                        module_aliases[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module in self._CLOCK_MODULES:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    name_aliases[bound] = f"{node.module}.{alias.name}"
         for node in ast.walk(mod.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -141,7 +165,7 @@ class NoWallClockRandomness(Rule):
                         "numpy Generator instead",
                     )
             elif isinstance(node, ast.Call):
-                yield from self._check_call(mod, node)
+                yield from self._check_call(mod, node, module_aliases, name_aliases)
 
     def _wallclock_allowed(self, module: str) -> bool:
         return any(
@@ -149,10 +173,30 @@ class NoWallClockRandomness(Rule):
             for pkg in self.WALLCLOCK_ALLOW
         )
 
-    def _check_call(self, mod: ModuleInfo, node: ast.Call) -> Iterator[Finding]:
+    @staticmethod
+    def _resolve_alias(
+        qn: str, module_aliases: dict[str, str], name_aliases: dict[str, str]
+    ) -> str:
+        head, _, rest = qn.partition(".")
+        if rest:
+            # `import time as _time` -> _time.monotonic, and
+            # `from datetime import datetime as dt` -> dt.now
+            target = module_aliases.get(head) or name_aliases.get(head)
+            return f"{target}.{rest}" if target is not None else qn
+        # `from time import monotonic as mono` -> mono()
+        return name_aliases.get(qn, qn)
+
+    def _check_call(
+        self,
+        mod: ModuleInfo,
+        node: ast.Call,
+        module_aliases: dict[str, str],
+        name_aliases: dict[str, str],
+    ) -> Iterator[Finding]:
         qn = _qualname(node.func)
         if qn is None:
             return
+        qn = self._resolve_alias(qn, module_aliases, name_aliases)
         if qn in self._WALLCLOCK:
             if not self._wallclock_allowed(mod.module):
                 yield mod.finding(
